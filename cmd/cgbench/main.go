@@ -1,0 +1,72 @@
+// Command cgbench regenerates the paper's evaluation: one experiment
+// table per figure/claim (see DESIGN.md §5 and EXPERIMENTS.md for the
+// index).
+//
+// Examples:
+//
+//	cgbench                  # run every experiment at full size
+//	cgbench -exp E2,E3       # just the two mat-vec scenarios
+//	cgbench -quick           # small sizes (CI smoke run)
+//	cgbench -exp E8 -csv     # CSV output for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hpfcg/internal/bench"
+	"hpfcg/internal/topology"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
+		quick = flag.Bool("quick", false, "small problem sizes")
+		topo  = flag.String("topology", "hypercube", "hypercube | ring | mesh2d | full")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		seed  = flag.Int64("seed", 1996, "matrix generator seed")
+	)
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	cfg.Quick = *quick
+	cfg.Seed = *seed
+	t, err := topology.ByName(*topo)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Topo = t
+
+	ids := bench.IDs()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		runner, err := bench.Get(id)
+		if err != nil {
+			fatal(err)
+		}
+		tables, err := runner(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		for _, tab := range tables {
+			if *csv {
+				if err := tab.RenderCSV(os.Stdout); err != nil {
+					fatal(err)
+				}
+				fmt.Println()
+			} else if err := tab.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cgbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hpfcg/internal/sparse"
+)
+
+func TestLoadMatrixFromGenerator(t *testing.T) {
+	A, err := loadMatrix("", "laplace1d:12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if A.NRows != 12 {
+		t.Errorf("n = %d", A.NRows)
+	}
+	if _, err := loadMatrix("", "bogus:1"); err == nil {
+		t.Error("unknown generator accepted")
+	}
+}
+
+func TestLoadMatrixFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.mtx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sparse.WriteMatrixMarket(f, sparse.Laplace1D(7)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	A, err := loadMatrix(path, "ignored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if A.NRows != 7 || A.NNZ() != 19 {
+		t.Errorf("loaded %dx nnz %d", A.NRows, A.NNZ())
+	}
+	if _, err := loadMatrix(filepath.Join(t.TempDir(), "missing.mtx"), ""); err == nil {
+		t.Error("missing file accepted")
+	}
+}

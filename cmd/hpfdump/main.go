@@ -1,0 +1,95 @@
+// Command hpfdump parses a file of HPF directives (including the
+// paper's proposed !EXT$ extensions) and prints the bound distribution
+// plan — the distributed-array descriptors an HPF compiler would build.
+//
+// Example:
+//
+//	hpfdump -np 4 -n 1000 -nz 5000 -size "p=1000,q=1000,r=1000,x=1000,b=1000,row=1001,col=5000,a=5000" figure2.hpf
+//
+// With no file argument it reads standard input; with -demo it dumps
+// the paper's Figure 2 directive block.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"hpfcg/internal/hpf"
+)
+
+const figure2 = `!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ ALIGN a(:) WITH col(:)
+!HPF$ DISTRIBUTE col(BLOCK)
+!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))
+`
+
+func main() {
+	var (
+		np    = flag.Int("np", 4, "processor count")
+		n     = flag.Int("n", 1000, "value of the identifier n in size expressions")
+		nz    = flag.Int("nz", 5000, "value of the identifier nz in size expressions")
+		sizes = flag.String("size", "", "comma-separated array sizes, e.g. p=1000,row=1001")
+		demo  = flag.Bool("demo", false, "dump the paper's Figure 2 directives")
+	)
+	flag.Parse()
+
+	var src string
+	switch {
+	case *demo:
+		src = figure2
+		if *sizes == "" {
+			*sizes = fmt.Sprintf("p=%d,q=%d,r=%d,x=%d,b=%d,row=%d,col=%d,a=%d",
+				*n, *n, *n, *n, *n, *n+1, *nz, *nz)
+		}
+	case flag.NArg() > 0:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+
+	sizeMap := map[string]int{}
+	if *sizes != "" {
+		for _, kv := range strings.Split(*sizes, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				fatal(fmt.Errorf("bad -size entry %q", kv))
+			}
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				fatal(fmt.Errorf("bad -size entry %q: %w", kv, err))
+			}
+			sizeMap[parts[0]] = v
+		}
+	}
+
+	prog, err := hpf.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("parsed %d directive(s), skipped %d Fortran line(s)\n\n",
+		len(prog.Directives), len(prog.Skipped))
+	plan, err := hpf.Bind(prog, *np, sizeMap, map[string]int{"n": *n, "nz": *nz})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(plan.Describe())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpfdump:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Heat-equation time stepping: the kind of PDE application the paper's
+// introduction motivates (computational fluid dynamics, structural
+// analysis), run on the simulated distributed machine.
+//
+// The 2-D heat equation u_t = ∇²u is stepped two ways on the same
+// discretisation A (the 5-point Laplacian, h=1):
+//
+//   - explicit Euler: u += -dt·A·u. One matrix product per step; the
+//     product uses the inspector-executor ghost exchange, so each step
+//     moves only the halo. Stability caps dt at ~1/λmax(A).
+//   - implicit Euler: (I + dt·A)·u_new = u. One distributed CG solve per
+//     step; unconditionally stable, so dt can be 10x larger here (any larger also works, at accuracy cost).
+//
+// The example verifies both integrators against each other, prints
+// their communication footprints, and shows implicit Euler's larger
+// steps paying for the CG iterations.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+const (
+	nx   = 32
+	np   = 8
+	tEnd = 2.0
+)
+
+func main() {
+	A := sparse.Laplace2D(nx, nx) // -∇² with h=1, Dirichlet boundary
+	n := A.NRows
+
+	// Hot square in the middle of a cold plate.
+	u0 := make([]float64, n)
+	for i := nx / 3; i < 2*nx/3; i++ {
+		for j := nx / 3; j < 2*nx/3; j++ {
+			u0[i*nx+j] = 100
+		}
+	}
+
+	// Explicit stability: dt < 2/λmax; λmax(Laplace2D) < 8.
+	dtExp := 0.02
+	dtImp := 10 * dtExp // first-order in time: keep dt moderate for comparison
+
+	d := dist.NewBlock(n, np)
+	m := comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams())
+
+	var explicitU, implicitU []float64
+	var expSteps, impSteps, impIters int
+
+	expStats := m.Run(func(p *comm.Proc) {
+		op := spmv.NewRowBlockCSRGhost(p, A, d)
+		u := darray.New(p, d)
+		w := darray.New(p, d)
+		u.SetGlobal(func(g int) float64 { return u0[g] })
+		steps := int(tEnd / dtExp)
+		for s := 0; s < steps; s++ {
+			op.Apply(u, w)    // w = A u  (ghost halo exchange only)
+			u.AXPY(-dtExp, w) // u = u - dt·A·u
+		}
+		full := u.Gather()
+		if p.Rank() == 0 {
+			explicitU = full
+			expSteps = steps
+		}
+	})
+
+	impStats := m.Run(func(p *comm.Proc) {
+		// I + dt·A assembled once.
+		coo := sparse.NewCOO(n, n)
+		for i := 0; i < n; i++ {
+			coo.Add(i, i, 1)
+			for k := A.RowPtr[i]; k < A.RowPtr[i+1]; k++ {
+				coo.Add(i, A.Col[k], dtImp*A.Val[k])
+			}
+		}
+		B := coo.ToCSR()
+		op := spmv.NewRowBlockCSRGhost(p, B, d)
+		u := darray.New(p, d)
+		rhs := darray.New(p, d)
+		u.SetGlobal(func(g int) float64 { return u0[g] })
+		steps := int(tEnd / dtImp)
+		iters := 0
+		for s := 0; s < steps; s++ {
+			rhs.CopyFrom(u)
+			st, err := core.CG(p, op, rhs, u, core.Options{Tol: 1e-10})
+			if err != nil {
+				panic(err)
+			}
+			iters += st.Iterations
+		}
+		full := u.Gather()
+		if p.Rank() == 0 {
+			implicitU = full
+			impSteps = steps
+			impIters = iters
+		}
+	})
+
+	// Both integrators approximate the same PDE; at tEnd=2 with these
+	// steps they must agree to discretisation accuracy.
+	maxDiff, maxVal := 0.0, 0.0
+	for i := range explicitU {
+		if dd := math.Abs(explicitU[i] - implicitU[i]); dd > maxDiff {
+			maxDiff = dd
+		}
+		if v := math.Abs(explicitU[i]); v > maxVal {
+			maxVal = v
+		}
+	}
+
+	fmt.Printf("heat equation on a %dx%d plate, np=%d, t=%g\n\n", nx, nx, np, tEnd)
+	fmt.Printf("explicit Euler: %4d steps (dt=%.2g)  model_time=%.5gs  msgs=%d  bytes=%d\n",
+		expSteps, dtExp, expStats.ModelTime, expStats.TotalMsgs, expStats.TotalBytes)
+	fmt.Printf("implicit Euler: %4d steps (dt=%.2g)  model_time=%.5gs  msgs=%d  bytes=%d  (CG iters total: %d)\n",
+		impSteps, dtImp, impStats.ModelTime, impStats.TotalMsgs, impStats.TotalBytes, impIters)
+	fmt.Printf("\nmax |explicit - implicit| = %.3g (peak temperature %.3g)\n", maxDiff, maxVal)
+	if maxDiff > 0.05*maxVal {
+		log.Fatal("integrators diverged beyond discretisation accuracy")
+	}
+	center := explicitU[(nx/2)*nx+nx/2]
+	fmt.Printf("temperature at plate centre after t=%g: %.4f (started at 100)\n", tEnd, center)
+	fmt.Println("\nintegrators agree; the implicit path trades CG communication for 10x fewer steps.")
+}

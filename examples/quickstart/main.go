@@ -1,0 +1,43 @@
+// Quickstart: build a sparse SPD system, solve it with the distributed
+// conjugate gradient solver on a simulated 8-processor machine, and
+// print what the run cost. This is the smallest end-to-end use of the
+// public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hpfcg"
+	"hpfcg/internal/sparse"
+)
+
+func main() {
+	// A 2-D Poisson problem on a 64x64 grid: the classic sparse SPD
+	// system the paper's introduction motivates (CFD, structural
+	// analysis, ...).
+	A := sparse.Laplace2D(64, 64)
+	b := sparse.Ones(A.NRows)
+
+	res, err := hpfcg.Solve(A, b, hpfcg.SolveSpec{
+		Method: hpfcg.MethodCG,
+		Layout: hpfcg.LayoutRowCSR, // the paper's Scenario 1 (Figure 2)
+		NP:     8,
+		Tol:    1e-10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("system:   n=%d, nnz=%d\n", A.NRows, A.NNZ())
+	fmt.Printf("solver:   %s\n", res.Stats)
+	fmt.Printf("machine:  modeled time %.4g s, comm %.4g s, %d messages, %d bytes\n",
+		res.Run.ModelTime, res.Run.CommTime(), res.Run.TotalMsgs, res.Run.TotalBytes)
+	fmt.Printf("balance:  flop imbalance %.3f (1.0 = perfect)\n", res.Run.FlopImbalance())
+	fmt.Printf("solution: x[0]=%.6f x[mid]=%.6f x[last]=%.6f\n",
+		res.X[0], res.X[len(res.X)/2], res.X[len(res.X)-1])
+
+	if !res.Stats.Converged {
+		log.Fatal("did not converge")
+	}
+}

@@ -1,0 +1,3 @@
+module hpfcg
+
+go 1.22

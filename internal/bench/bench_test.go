@@ -1,0 +1,389 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func quickCfg() Config {
+	c := DefaultConfig()
+	c.Quick = true
+	return c
+}
+
+func TestIDsOrderedAndComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments registered, want 18", len(ids))
+	}
+	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E18" {
+		t.Errorf("order wrong: %v", ids)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("E99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// Every experiment must run in quick mode and produce non-empty,
+// rectangular tables.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := quickCfg()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Get(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tables, err := r(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tables) == 0 {
+				t.Fatal("no tables")
+			}
+			for _, tab := range tables {
+				if len(tab.Rows) == 0 {
+					t.Fatalf("table %q empty", tab.Title)
+				}
+				for _, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Fatalf("table %q: row width %d != header %d", tab.Title, len(row), len(tab.Header))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRunAndRender(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunAndRender(&buf, "E5", quickCfg()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"E5", "bicgstab", "matvec/it"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	if err := RunAndRender(&buf, "E99", quickCfg()); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func cell(t *testing.T, tab interface {
+	// minimal view over report.Table
+}, _ int, _ int) string {
+	t.Helper()
+	return ""
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+// E1's headline shape: iteration counts identical across np, speedup > 1
+// at the largest np.
+func TestE1Shape(t *testing.T) {
+	tables, err := E1(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	iters := map[string]bool{}
+	for _, row := range tab.Rows {
+		iters[row[1]] = true
+	}
+	if len(iters) != 1 {
+		t.Errorf("iteration count varies with np: %v", tab.Rows)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	if sp := parseF(t, last[5]); sp <= 1 {
+		t.Errorf("no speedup at np=%s: %g", last[0], sp)
+	}
+}
+
+// E2: measured communication within 2x of the analytic prediction.
+func TestE2MatchesFormula(t *testing.T) {
+	tables, err := E2(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		ratio := parseF(t, row[3])
+		if ratio < 0.5 || ratio > 2 {
+			t.Errorf("np=%s: measured/predicted = %g, outside [0.5, 2]", row[0], ratio)
+		}
+	}
+}
+
+// E3/E4: the private-merge execution must beat the serialized one for
+// np > 1 and the serialized compute must not scale.
+func TestE4ExtensionWins(t *testing.T) {
+	tables, err := E4(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		np, _ := strconv.Atoi(row[0])
+		speedup := parseF(t, row[1])
+		if np > 1 && speedup <= 1 {
+			t.Errorf("np=%d: extension speedup %g <= 1", np, speedup)
+		}
+	}
+}
+
+// E6: the transpose product must move at least as many bytes as the
+// forward one (the merge phase re-appears) and cost a comparable
+// modeled time — the paper's point is that the row-access optimisation
+// cannot be kept for both products.
+func TestE6TransposePenalty(t *testing.T) {
+	tables, err := E6(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		fwdBytes := parseF(t, row[4])
+		bwdBytes := parseF(t, row[5])
+		if bwdBytes < fwdBytes {
+			t.Errorf("np=%s: ApplyT moved %g bytes < Apply %g", row[0], bwdBytes, fwdBytes)
+		}
+		if ratio := parseF(t, row[3]); ratio < 1 {
+			t.Errorf("np=%s: ApplyT/Apply time ratio %g < 1 (merge phase missing)", row[0], ratio)
+		}
+	}
+}
+
+// E8: the optimal partitioner's imbalance must not exceed uniform's,
+// and its modeled time must be the smallest.
+func TestE8BalancedWins(t *testing.T) {
+	tables, err := E8(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	var uniImb, balImb, uniTime, balTime float64
+	for _, row := range rows {
+		switch row[0] {
+		case "uniform_atom_block":
+			uniImb, uniTime = parseF(t, row[1]), parseF(t, row[3])
+		case "balanced_optimal":
+			balImb, balTime = parseF(t, row[1]), parseF(t, row[3])
+		}
+	}
+	if balImb > uniImb {
+		t.Errorf("balanced imbalance %g > uniform %g", balImb, uniImb)
+	}
+	if balTime > uniTime {
+		t.Errorf("balanced model time %g > uniform %g", balTime, uniTime)
+	}
+}
+
+// E9: the distinct-eigenvalue bound column must be all true, and every
+// preconditioner must beat plain CG.
+func TestE9Convergence(t *testing.T) {
+	tables, err := E9(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if row[3] != "true" {
+			t.Errorf("eigenvalue bound violated: %v", row)
+		}
+	}
+	var plain int
+	for _, row := range tables[1].Rows {
+		iters, _ := strconv.Atoi(row[1])
+		if row[0] == "none" {
+			plain = iters
+			continue
+		}
+		if iters >= plain {
+			t.Errorf("%s: %d iterations >= plain %d", row[0], iters, plain)
+		}
+	}
+}
+
+// E13: the checkerboard must move fewer bytes than striping at every
+// processor count (the bandwidth term drops from n to n/sqrt(NP)).
+func TestE13CheckerboardBytes(t *testing.T) {
+	tables, err := E13(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		striped := parseF(t, row[4])
+		checker := parseF(t, row[5])
+		if checker >= striped {
+			t.Errorf("np=%s: checkerboard bytes %g >= striped %g", row[0], checker, striped)
+		}
+	}
+}
+
+// E14: the inspector-executor must beat the broadcast in both time and
+// bytes on a banded matrix, even including the inspector cost.
+func TestE14GhostWins(t *testing.T) {
+	tables, err := E14(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tables[0].Rows {
+		if sp := parseF(t, row[3]); sp <= 1 {
+			t.Errorf("np=%s: ghost speedup %g <= 1", row[0], sp)
+		}
+		bcB := parseF(t, row[4])
+		ghB := parseF(t, row[5])
+		if ghB >= bcB/10 {
+			t.Errorf("np=%s: ghost bytes %g not far below broadcast %g", row[0], ghB, bcB)
+		}
+	}
+}
+
+// E10: dot must cost more than axpy (the merge phase) and both must
+// shrink as np grows.
+func TestE10VectorOps(t *testing.T) {
+	tables, err := E10(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	for _, row := range rows {
+		axpy, dot := parseF(t, row[1]), parseF(t, row[3])
+		if row[0] != "1" && dot <= axpy {
+			// np=1 has no merge phase; beyond that dot must pay it.
+			t.Errorf("np=%s: dot %g <= axpy %g (missing merge cost)", row[0], dot, axpy)
+		}
+	}
+	firstAxpy := parseF(t, rows[0][1])
+	lastAxpy := parseF(t, rows[len(rows)-1][1])
+	if lastAxpy >= firstAxpy {
+		t.Errorf("axpy did not scale: %g -> %g", firstAxpy, lastAxpy)
+	}
+}
+
+// E15: on a no-locality matrix the best execution must flip between
+// low-startup (ghost wins) and high-startup (broadcast wins) machines.
+func TestE15WinnerFlips(t *testing.T) {
+	tables, err := E15(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	// Banded at the lowest startup time: the halo must win.
+	if got := tables[0].Rows[0][4]; got != "ghost" {
+		t.Errorf("banded low-t_s best = %s, want ghost", got)
+	}
+	// Across the sweep the winner must not be constant (the portability
+	// point): matrix structure and machine constants change the choice.
+	seen := map[string]bool{}
+	for _, tab := range tables {
+		for _, row := range tab.Rows {
+			seen[row[4]] = true
+		}
+	}
+	if len(seen) < 2 {
+		t.Errorf("winner never flips across matrices/machines: %v", seen)
+	}
+}
+
+// E16: RCM must shrink the scrambled matrix's halo dramatically and
+// bring the modeled time back toward the original banded layout.
+func TestE16RCMShrinksHalo(t *testing.T) {
+	tables, err := E16(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	get := func(name string, col int) float64 {
+		for _, row := range rows {
+			if row[0] == name {
+				return parseF(t, row[col])
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0
+	}
+	if get("scrambled", 2) < 4*get("original", 2) {
+		t.Errorf("scramble did not blow up the halo: %g vs %g", get("scrambled", 2), get("original", 2))
+	}
+	if get("rcm(scrambled)", 2) > get("scrambled", 2)/4 {
+		t.Errorf("RCM halo %g not far below scrambled %g", get("rcm(scrambled)", 2), get("scrambled", 2))
+	}
+	if get("rcm(scrambled)", 3) >= get("scrambled", 3) {
+		t.Errorf("RCM time %g >= scrambled %g", get("rcm(scrambled)", 3), get("scrambled", 3))
+	}
+}
+
+// E17: at large t_s the dot-free Chebyshev must beat CG in modeled
+// time despite needing more iterations.
+func TestE17ChebyshevWinsAtHighStartup(t *testing.T) {
+	tables, err := E17(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	last := rows[len(rows)-1] // t_s = 1ms
+	if ratio := parseF(t, last[5]); ratio >= 1 {
+		t.Errorf("t_s=1ms: chebyshev/cg time ratio %g, want < 1", ratio)
+	}
+	// Chebyshev needs at least as many iterations as CG (optimal Krylov).
+	cgIters, _ := strconv.Atoi(last[1])
+	chIters, _ := strconv.Atoi(last[3])
+	if chIters < cgIters {
+		t.Errorf("chebyshev %d iterations < CG %d (CG is Krylov-optimal)", chIters, cgIters)
+	}
+}
+
+// E18: weak-scaling efficiency must stay high (the halo mat-vec is
+// NP-independent; only the log NP dot merges decay it).
+func TestE18WeakScaling(t *testing.T) {
+	tables, err := E18(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	last := rows[len(rows)-1]
+	if eff := parseF(t, last[5]); eff < 0.3 || eff > 1.05 {
+		t.Errorf("weak-scaling efficiency at np=%s is %g, outside (0.3, 1.05)", last[0], eff)
+	}
+}
+
+// The CSV rendering path used by `cgbench -csv` must produce parseable
+// output for a real experiment table.
+func TestExperimentTableCSV(t *testing.T) {
+	tables, err := E5(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tables[0].RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var dataLines int
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "#") {
+			continue
+		}
+		if got := len(strings.Split(ln, ",")); got != len(tables[0].Header) {
+			t.Fatalf("csv row %q has %d fields, want %d", ln, got, len(tables[0].Header))
+		}
+		dataLines++
+	}
+	if dataLines != len(tables[0].Rows)+1 {
+		t.Errorf("csv has %d data lines, want %d", dataLines, len(tables[0].Rows)+1)
+	}
+}

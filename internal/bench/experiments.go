@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/direct"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/nas"
+	"hpfcg/internal/partition"
+	"hpfcg/internal/report"
+	"hpfcg/internal/seq"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+// E1 — Figure 2: the HPF CSR-format CG code, run end to end on the
+// distributed machine across a processor sweep. Expected shape: the
+// iteration count is NP-invariant; modeled time falls with NP until
+// communication startup terms flatten it.
+func E1(cfg Config) ([]*report.Table, error) {
+	nx := cfg.pick(96, 40)
+	A := sparse.Laplace2D(nx, nx)
+	n := A.NRows
+	b := sparse.RandomVector(n, cfg.Seed)
+
+	t := &report.Table{
+		ID:     "E1",
+		Title:  fmt.Sprintf("Figure 2 CSR CG, 2-D Laplacian n=%d (nnz=%d)", n, A.NNZ()),
+		Header: []string{"np", "iters", "model_time_s", "comm_time_s", "flop_imbalance", "speedup"},
+	}
+	var t1 float64
+	for _, np := range cfg.npSweep() {
+		d := dist.NewBlock(n, np)
+		var st core.Stats
+		var solveErr error
+		rs := cfg.machine(np).Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSR(p, A, d)
+			bv := darray.New(p, d)
+			xv := darray.New(p, d)
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			s, err := core.CG(p, op, bv, xv, core.Options{Tol: 1e-8})
+			if p.Rank() == 0 {
+				st, solveErr = s, err
+			}
+		})
+		if solveErr != nil {
+			return nil, solveErr
+		}
+		if np == 1 {
+			t1 = rs.ModelTime
+		}
+		t.AddRowf(np, st.Iterations, rs.ModelTime, rs.CommTime(), rs.FlopImbalance(), t1/rs.ModelTime)
+	}
+	t.Notes = append(t.Notes,
+		"iteration count must be identical across np (same arithmetic, distributed)",
+		"speedup saturates as the t_s·log NP reduction terms start to dominate")
+	return []*report.Table{t}, nil
+}
+
+// E2 — Figure 3 / Scenario 1: row-wise partitioned sparse mat-vec. The
+// communication is the all-to-all broadcast of p; measured modeled comm
+// time is compared with the paper's §4 hypercube expression
+// t_s·log NP + t_w·n·(NP-1)/NP (recursive doubling, per-step form in
+// topology.HypercubeAllgatherTime). The processor sweep uses powers of
+// two so the hypercube algorithm is the one executed.
+func E2(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(4096, 512)
+	A := sparse.Banded(n, 4)
+	t := &report.Table{
+		ID:     "E2",
+		Title:  fmt.Sprintf("Scenario 1 row-block CSR mat-vec, banded n=%d", n),
+		Header: []string{"np", "measured_comm_s", "predicted_comm_s", "ratio", "bytes_moved"},
+		Notes: []string{
+			"prediction: hypercube allgather t_s*log NP + t_w*8n*(NP-1)/NP (+hop terms)",
+			"ratio ~ 1 confirms the simulator charges Scenario 1 the paper's §4 cost",
+		},
+	}
+	hcCfg := cfg
+	hcCfg.Topo = topology.Hypercube{}
+	for _, np := range []int{2, 4, 8, 16} {
+		if cfg.Quick && np > 4 {
+			break
+		}
+		d := dist.NewBlock(n, np)
+		rs := hcCfg.machine(np).Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSR(p, A, d)
+			x := darray.New(p, d)
+			y := darray.New(p, d)
+			x.Fill(1)
+			op.Apply(x, y)
+		})
+		pred := topology.HypercubeAllgatherTime(hcCfg.Cost, np, 8*(n/np))
+		meas := rs.CommTime()
+		t.AddRowf(np, meas, pred, meas/pred, rs.TotalBytes)
+	}
+	return []*report.Table{t}, nil
+}
+
+// e3data runs one column-partitioned CSC mat-vec in both execution
+// modes and returns the run stats.
+func e3data(cfg Config, A *sparse.CSC, n, np int, mode spmv.Mode) comm.RunStats {
+	d := dist.NewBlock(n, np)
+	return cfg.machine(np).Run(func(p *comm.Proc) {
+		op := spmv.NewColBlockCSC(p, A, d, mode)
+		x := darray.New(p, d)
+		y := darray.New(p, d)
+		x.Fill(1)
+		op.Apply(x, y)
+	})
+}
+
+// E3 — Figure 4 / Scenario 2: column-wise partitioned CSC mat-vec,
+// HPF-1 serialized loop vs the proposed PRIVATE/MERGE execution.
+// Expected shape: similar communication volume, but the serialized
+// version's compute does not scale (the modeled clock serialises it).
+func E3(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(4096, 512)
+	A := sparse.Banded(n, 4).ToCSC()
+	t := &report.Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("Scenario 2 col-block CSC mat-vec, banded n=%d", n),
+		Header: []string{"np", "t_serialized_s", "t_merge_s", "bytes_serialized", "bytes_merge"},
+		Notes: []string{
+			"serialized = HPF-1 dependent loop (q carried rank to rank, then scattered)",
+			"merge = proposed PRIVATE(q(n)) WITH MERGE(+) (reduce-scatter)",
+		},
+	}
+	for _, np := range cfg.npSweep() {
+		ser := e3data(cfg, A, n, np, spmv.ModeSerialized)
+		mer := e3data(cfg, A, n, np, spmv.ModePrivateMerge)
+		t.AddRowf(np, ser.ModelTime, mer.ModelTime, ser.TotalBytes, mer.TotalBytes)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E4 — Figure 5 / §5.1: what the PRIVATE/MERGE extension buys — the
+// speedup over the serialized loop — and what it costs — NP·n words of
+// temporary storage ("unsatisfactory ... particularly if n >> NP").
+func E4(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(4096, 512)
+	A := sparse.Banded(n, 4).ToCSC()
+	t := &report.Table{
+		ID:     "E4",
+		Title:  fmt.Sprintf("PRIVATE WITH MERGE(+) extension, CSC mat-vec n=%d", n),
+		Header: []string{"np", "speedup_vs_serialized", "max_flops_serial", "max_flops_merge", "private_storage_KiB"},
+		Notes: []string{
+			"private storage = NP*n*8 bytes of temporary vectors, the §5.1 memory cost",
+		},
+	}
+	for _, np := range cfg.npSweep() {
+		ser := e3data(cfg, A, n, np, spmv.ModeSerialized)
+		mer := e3data(cfg, A, n, np, spmv.ModePrivateMerge)
+		t.AddRowf(np, ser.ModelTime/mer.ModelTime, ser.MaxFlops, mer.MaxFlops,
+			float64(np*n*8)/1024)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E5 — §2/§2.1: the computational structure of the solver family, per
+// iteration: matrix products, transpose products, inner products,
+// SAXPYs and working vectors.
+func E5(cfg Config) ([]*report.Table, error) {
+	nx := cfg.pick(20, 8)
+	A := sparse.Laplace2D(nx, nx)
+	b := sparse.RandomVector(A.NRows, cfg.Seed)
+	t := &report.Table{
+		ID:     "E5",
+		Title:  fmt.Sprintf("per-iteration computational structure, 2-D Laplacian n=%d", A.NRows),
+		Header: []string{"method", "iters", "matvec/it", "matvecT/it", "dot/it", "axpy/it", "work_vectors"},
+		Notes: []string{
+			"paper §2: CG = 1 matvec, 2 inner products, ~3 SAXPY per iteration",
+			"paper §2.1: BiCG adds one A^T product; BiCGSTAB has 4 inner products (+1 stop test)",
+		},
+	}
+	solvers := []struct {
+		name string
+		run  func(b, x []float64) (seq.Stats, error)
+	}{
+		{"cg", func(b, x []float64) (seq.Stats, error) { return seq.CG(A, b, x, seq.Options{Tol: 1e-9}) }},
+		{"bicg", func(b, x []float64) (seq.Stats, error) { return seq.BiCG(A, b, x, seq.Options{Tol: 1e-9}) }},
+		{"cgs", func(b, x []float64) (seq.Stats, error) { return seq.CGS(A, b, x, seq.Options{Tol: 1e-9}) }},
+		{"bicgstab", func(b, x []float64) (seq.Stats, error) { return seq.BiCGSTAB(A, b, x, seq.Options{Tol: 1e-9}) }},
+		{"gmres(20)", func(b, x []float64) (seq.Stats, error) {
+			return seq.GMRES(A, b, x, 20, seq.Options{Tol: 1e-9, MaxIter: 40 * len(b)})
+		}},
+	}
+	for _, s := range solvers {
+		x := make([]float64, A.NRows)
+		st, err := s.run(b, x)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.name, err)
+		}
+		it := float64(st.Iterations)
+		t.AddRowf(s.name, st.Iterations,
+			float64(st.MatVecs-1)/it, // subtract the setup residual matvec
+			float64(st.TransMatVecs)/it,
+			float64(st.DotProducts-2)/it, // subtract the two setup norms
+			float64(st.AXPYs-1)/it,
+			st.WorkVectors)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E6 — §2.1: the BiCG transpose penalty under a row-block
+// distribution: A^T·x re-introduces the merge phase the forward
+// product avoided.
+func E6(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(4096, 512)
+	A := sparse.RandomSPD(n, 6, cfg.Seed)
+	t := &report.Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("transpose product penalty (row-block CSR), randspd n=%d", n),
+		Header: []string{"np", "t_apply_s", "t_applyT_s", "ratio", "bytes_apply", "bytes_applyT"},
+		Notes: []string{
+			"§2.1: \"any storage distribution optimisations made on the basis of row access",
+			"vs. column access will be negated with the use of BiCG\"",
+		},
+	}
+	for _, np := range cfg.npSweep() {
+		if np == 1 {
+			continue
+		}
+		d := dist.NewBlock(n, np)
+		run := func(transpose bool) comm.RunStats {
+			return cfg.machine(np).Run(func(p *comm.Proc) {
+				op := spmv.NewRowBlockCSR(p, A, d)
+				x := darray.New(p, d)
+				y := darray.New(p, d)
+				x.Fill(1)
+				if transpose {
+					op.ApplyT(x, y)
+				} else {
+					op.Apply(x, y)
+				}
+			})
+		}
+		fwd := run(false)
+		bwd := run(true)
+		t.AddRowf(np, fwd.ModelTime, bwd.ModelTime, bwd.ModelTime/fwd.ModelTime,
+			fwd.TotalBytes, bwd.TotalBytes)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E7 — §5.2.1: what plain element-level BLOCK does to the sparse trio
+// (splits rows/columns across processors) versus the proposed
+// ATOM:BLOCK redistribution (never splits an atom).
+func E7(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(2000, 300)
+	A := sparse.PowerLaw(n, 1.1, n/8, cfg.Seed)
+	atoms := partition.AtomsFromPtr(A.RowPtr)
+	t := &report.Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("INDIVISABLE atoms vs element BLOCK, power-law n=%d nnz=%d", n, A.NNZ()),
+		Header: []string{"np", "rows_split_by_BLOCK", "rows_split_by_ATOM_BLOCK", "atom_block_imbalance"},
+		Notes: []string{
+			"a split row forces intra-row communication during the multiply (§5.2.1)",
+			"ATOM:BLOCK by construction never splits; its cost is element imbalance",
+		},
+	}
+	for _, np := range cfg.npSweep() {
+		if np == 1 {
+			continue
+		}
+		splits := partition.SplitCount(atoms, np)
+		cuts := partition.UniformAtomBlock(atoms.NAtoms(), np)
+		imb := partition.Imbalance(atoms.Weights(), cuts)
+		t.AddRowf(np, splits, 0, imb)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E8 — §5.2.2: load-balancing partitioners on an irregular matrix:
+// uniform atom blocks vs the greedy heuristic vs the optimal
+// contiguous partitioner (CG_BALANCED_PARTITIONER_1), measured as nnz
+// imbalance and as modeled time of a full distributed CG solve.
+func E8(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(2000, 300)
+	np := cfg.pick(8, 4)
+	// Clustered heavy rows: the §5.2.2 "identifiable to a human but not
+	// to a compiler" structure that defeats uniform distributions. The
+	// density (maxDeg = n/2) keeps the multiply compute-dominated so the
+	// partitioning effect is visible above the communication terms.
+	A := sparse.PowerLawClustered(n, n/2, cfg.Seed)
+	atoms := partition.AtomsFromPtr(A.RowPtr)
+	weights := atoms.Weights()
+
+	t := &report.Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("CG_BALANCED_PARTITIONER_1, power-law n=%d nnz=%d np=%d", n, A.NNZ(), np),
+		Header: []string{"partitioner", "nnz_imbalance", "bottleneck_nnz", "spmv_model_time_s", "flop_imbalance"},
+		Notes: []string{
+			"rows are atoms: every partitioner keeps rows whole (INDIVISABLE)",
+			"timed kernel: 10 repeated mat-vec products, the operation §5.2.2 balances",
+		},
+	}
+	cases := []struct {
+		name string
+		cuts []int
+	}{
+		{"uniform_atom_block", partition.UniformAtomBlock(len(weights), np)},
+		{"greedy", partition.GreedyContiguous(weights, np)},
+		{"balanced_optimal", partition.BalancedContiguous(weights, np)},
+	}
+	for _, c := range cases {
+		d := dist.NewIrregular(c.cuts) // row cut points = vector cut points
+		rs := cfg.machine(np).Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSR(p, A, d)
+			x := darray.New(p, d)
+			y := darray.New(p, d)
+			x.Fill(1)
+			for rep := 0; rep < 10; rep++ {
+				op.Apply(x, y)
+			}
+		})
+		t.AddRowf(c.name, partition.Imbalance(weights, c.cuts),
+			partition.Bottleneck(weights, c.cuts), rs.ModelTime, rs.FlopImbalance())
+	}
+	return []*report.Table{t}, nil
+}
+
+// E9 — §2: convergence properties. Table 1: CG finishes in at most n_e
+// iterations where n_e is the number of distinct eigenvalues. Table 2:
+// preconditioning (Jacobi/SSOR/IC(0)) cuts the iteration count on an
+// ill-conditioned system.
+func E9(cfg Config) ([]*report.Table, error) {
+	t1 := &report.Table{
+		ID:     "E9",
+		Title:  "CG iterations vs number of distinct eigenvalues",
+		Header: []string{"n", "distinct_eigenvalues", "iters", "bound_respected"},
+	}
+	n := cfg.pick(256, 64)
+	for _, ne := range []int{1, 2, 4, 8, 16} {
+		eigs := make([]float64, n)
+		for i := range eigs {
+			eigs[i] = float64(1 + 10*(i%ne))
+		}
+		A := sparse.DiagWithEigenvalues(eigs)
+		b := sparse.RandomVector(n, cfg.Seed)
+		x := make([]float64, n)
+		st, err := seq.CG(A, b, x, seq.Options{Tol: 1e-12})
+		if err != nil {
+			return nil, err
+		}
+		t1.AddRowf(n, ne, st.Iterations, st.Iterations <= ne)
+	}
+
+	t2 := &report.Table{
+		ID:     "E9",
+		Title:  "preconditioned CG on an ill-conditioned scaled Laplacian",
+		Header: []string{"preconditioner", "iters", "converged", "relres"},
+	}
+	nx := cfg.pick(24, 10)
+	L := sparse.Laplace2D(nx, nx)
+	nn := L.NRows
+	s := make([]float64, nn)
+	for i := range s {
+		s[i] = 1 + 40*float64(i)/float64(nn)
+	}
+	coo := sparse.NewCOO(nn, nn)
+	for i := 0; i < nn; i++ {
+		for k := L.RowPtr[i]; k < L.RowPtr[i+1]; k++ {
+			coo.Add(i, L.Col[k], L.Val[k]*s[i]*s[L.Col[k]])
+		}
+	}
+	A := coo.ToCSR()
+	b := sparse.Ones(nn)
+	for _, pname := range []string{"none", "jacobi", "ssor", "ic0"} {
+		M, err := seq.ByName(pname, A)
+		if err != nil {
+			return nil, err
+		}
+		x := make([]float64, nn)
+		st, err := seq.PCG(A, M, b, x, seq.Options{Tol: 1e-10, MaxIter: 10 * nn})
+		if err != nil {
+			return nil, err
+		}
+		t2.AddRowf(pname, st.Iterations, st.Converged, st.Residual)
+	}
+	return []*report.Table{t1, t2}, nil
+}
+
+// E10 — §4: the vector-operation cost claims. SAXPY runs in O(n/NP)
+// with no communication; DOT_PRODUCT adds a t_s·log NP merge.
+func E10(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(1<<16, 1<<12)
+	t := &report.Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("SAXPY and DOT_PRODUCT scaling, n=%d", n),
+		Header: []string{"np", "axpy_measured_s", "axpy_predicted_s", "dot_measured_s", "dot_predicted_s", "dot_msgs"},
+		Notes: []string{
+			"axpy prediction: 2(n/NP)·t_f, no communication (§4)",
+			"dot prediction: 2(n/NP)·t_f + 2·ceil(log2 NP)·t_s merge (reduce+bcast)",
+		},
+	}
+	for _, np := range cfg.npSweep() {
+		d := dist.NewBlock(n, np)
+		axpyRS := cfg.machine(np).Run(func(p *comm.Proc) {
+			v := darray.New(p, d)
+			w := darray.New(p, d)
+			v.AXPY(2, w)
+		})
+		dotRS := cfg.machine(np).Run(func(p *comm.Proc) {
+			v := darray.New(p, d)
+			v.Fill(1)
+			v.Dot(v)
+		})
+		blk := (n + np - 1) / np
+		axpyPred := 2 * float64(blk) * cfg.Cost.TFlop
+		steps := float64(topology.Log2Ceil(np))
+		dotPred := 2*float64(blk)*cfg.Cost.TFlop + 2*steps*cfg.Cost.TStartup + steps*cfg.Cost.TFlop
+		t.AddRowf(np, axpyRS.ModelTime, axpyPred, dotRS.ModelTime, dotPred, dotRS.TotalMsgs)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E11 — §1 (NAS/PARKBENCH): the NAS-CG kernel, sequential and
+// distributed, with the zeta trajectory as the verification signal.
+func E11(cfg Config) ([]*report.Table, error) {
+	cls := sparse.NASClassS
+	if cfg.Quick {
+		cls = sparse.NASCGClass{Name: "mini", N: 256, Nonzer: 5, Shift: 8, NIter: 10}
+	}
+	A := sparse.NASCGMatrix(cls, cfg.Seed)
+	seqRes := nas.RunWithMatrix(cls, A)
+	if err := nas.Verify(seqRes); err != nil {
+		return nil, err
+	}
+	t := &report.Table{
+		ID:     "E11",
+		Title:  fmt.Sprintf("NAS-CG-like kernel, class %s (n=%d nonzer=%d shift=%g)", cls.Name, cls.N, cls.Nonzer, cls.Shift),
+		Header: []string{"config", "zeta_first", "zeta_final", "matvecs", "model_time_s"},
+		Notes: []string{
+			"matrix is the documented makea substitution (DESIGN.md): trajectory shape,",
+			"not the published verification value, is the reproduction target",
+		},
+	}
+	t.AddRowf("sequential", seqRes.Zetas[0], seqRes.FinalZeta(), seqRes.MatVecs, "-")
+	for _, np := range []int{2, 4} {
+		var res nas.Result
+		rs := cfg.machine(np).Run(func(p *comm.Proc) {
+			r := nas.RunDistributed(p, cls, A)
+			if p.Rank() == 0 {
+				res = r
+			}
+		})
+		if err := nas.Verify(res); err != nil {
+			return nil, err
+		}
+		t.AddRowf(fmt.Sprintf("distributed np=%d", np), res.Zetas[0], res.FinalZeta(), res.MatVecs, rs.ModelTime)
+	}
+	return []*report.Table{t}, nil
+}
+
+// E12 — §1: the motivation for iterative methods — dense Gaussian
+// elimination vs sparse CG in wall-clock time and storage, as the
+// problem grows.
+func E12(cfg Config) ([]*report.Table, error) {
+	sizes := []int{64, 128, 256, 512}
+	if cfg.Quick {
+		sizes = []int{32, 64}
+	}
+	t := &report.Table{
+		ID:     "E12",
+		Title:  "direct (dense LU) vs iterative (sparse CG), 2-D Laplacian",
+		Header: []string{"n", "nnz", "lu_wall", "cg_wall", "dense_storage_KiB", "sparse_storage_KiB", "cg_iters"},
+		Notes: []string{
+			"§1: iterative methods are preferred \"when A is very large and sparse, and where",
+			"storage space for the full matrix would either be impractical or too slow\"",
+		},
+	}
+	for _, n := range sizes {
+		side := 1
+		for side*side < n {
+			side++
+		}
+		A := sparse.Laplace2D(side, side)
+		nn := A.NRows
+		b := sparse.Ones(nn)
+
+		t0 := time.Now()
+		if _, err := direct.SolveCSR(A, b); err != nil {
+			return nil, err
+		}
+		luWall := time.Since(t0)
+
+		x := make([]float64, nn)
+		t0 = time.Now()
+		st, err := seq.CG(A, b, x, seq.Options{Tol: 1e-10})
+		if err != nil {
+			return nil, err
+		}
+		cgWall := time.Since(t0)
+
+		denseKiB := float64(nn*nn*8) / 1024
+		sparseKiB := float64(A.NNZ()*16+(nn+1)*8) / 1024
+		t.AddRowf(nn, A.NNZ(), luWall.String(), cgWall.String(), denseKiB, sparseKiB, st.Iterations)
+	}
+	return []*report.Table{t}, nil
+}

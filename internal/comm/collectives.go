@@ -1,0 +1,371 @@
+package comm
+
+import "fmt"
+
+// ReduceOp selects the combining operation of a reduction.
+type ReduceOp int
+
+// Supported reduction operators. All are commutative and associative,
+// which the tree algorithms require.
+const (
+	OpSum ReduceOp = iota
+	OpMax
+	OpMin
+)
+
+func (op ReduceOp) combine(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("comm: reduce length mismatch %d vs %d", len(dst), len(src)))
+	}
+	switch op {
+	case OpSum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case OpMax:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case OpMin:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	default:
+		panic(fmt.Sprintf("comm: unknown ReduceOp %d", op))
+	}
+}
+
+// Barrier blocks until all processors have entered it. It uses the
+// dissemination algorithm: ceil(log2 NP) rounds of shifted exchanges.
+func (p *Proc) Barrier() {
+	tag := p.nextTag(opBarrier)
+	np := p.m.np
+	for k := 1; k < np; k <<= 1 {
+		dst := (p.rank + k) % np
+		src := (p.rank - k + np) % np
+		p.Send(dst, tag, Payload{})
+		p.Recv(src, tag)
+	}
+}
+
+// Bcast distributes root's payload to every processor using a binomial
+// tree (ceil(log2 NP) message steps, the t_s*log NP pattern of §4).
+// root passes the data; every rank returns it.
+func (p *Proc) Bcast(root int, pl Payload) Payload {
+	tag := p.nextTag(opBcast)
+	np := p.m.np
+	if root < 0 || root >= np {
+		panic(fmt.Sprintf("comm: Bcast invalid root %d", root))
+	}
+	if np == 1 {
+		return pl
+	}
+	rel := (p.rank - root + np) % np
+	// Receive from the parent (clear the lowest set bit of rel).
+	mask := 1
+	for mask < np {
+		if rel&mask != 0 {
+			src := ((rel ^ mask) + root) % np
+			pl = p.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	if rel == 0 {
+		mask = 1
+		for mask < np {
+			mask <<= 1
+		}
+	}
+	// Forward to children (descending masks below our receive bit).
+	mask >>= 1
+	for mask > 0 {
+		if rel+mask < np {
+			dst := (rel + mask + root) % np
+			p.Send(dst, tag, pl)
+		}
+		mask >>= 1
+	}
+	return pl
+}
+
+// BcastFloats broadcasts a float slice from root.
+func (p *Proc) BcastFloats(root int, x []float64) []float64 {
+	return p.Bcast(root, Payload{Floats: x}).Floats
+}
+
+// BcastInts broadcasts an int slice from root.
+func (p *Proc) BcastInts(root int, x []int) []int {
+	return p.Bcast(root, Payload{Ints: x}).Ints
+}
+
+// BcastFloat broadcasts a scalar from root.
+func (p *Proc) BcastFloat(root int, x float64) float64 {
+	return p.BcastFloats(root, []float64{x})[0]
+}
+
+// BcastInt broadcasts an int scalar from root.
+func (p *Proc) BcastInt(root int, x int) int {
+	return p.BcastInts(root, []int{x})[0]
+}
+
+// Reduce combines x element-wise across processors with op using a
+// binomial tree. The result is returned at root; other ranks get nil.
+// x is not modified.
+func (p *Proc) Reduce(root int, x []float64, op ReduceOp) []float64 {
+	tag := p.nextTag(opReduce)
+	np := p.m.np
+	if root < 0 || root >= np {
+		panic(fmt.Sprintf("comm: Reduce invalid root %d", root))
+	}
+	acc := make([]float64, len(x))
+	copy(acc, x)
+	if np == 1 {
+		return acc
+	}
+	rel := (p.rank - root + np) % np
+	for mask := 1; mask < np; mask <<= 1 {
+		if rel&mask != 0 {
+			dst := ((rel ^ mask) + root) % np
+			p.Send(dst, tag, Payload{Floats: acc})
+			return nil
+		}
+		if rel|mask < np {
+			src := ((rel | mask) + root) % np
+			in := p.Recv(src, tag).Floats
+			op.combine(acc, in)
+			p.Compute(len(acc))
+		}
+	}
+	return acc
+}
+
+// Allreduce combines x element-wise across all processors and returns
+// the result on every rank (reduce to rank 0, then broadcast). This is
+// the "merge phase" of the paper's inner products: t_s*log NP
+// communication for the scalar case.
+func (p *Proc) Allreduce(x []float64, op ReduceOp) []float64 {
+	res := p.Reduce(0, x, op)
+	return p.BcastFloats(0, res)
+}
+
+// AllreduceScalar is Allreduce for a single value, the shape of
+// DOT_PRODUCT's merge phase.
+func (p *Proc) AllreduceScalar(x float64, op ReduceOp) float64 {
+	return p.Allreduce([]float64{x}, op)[0]
+}
+
+func checkCounts(counts []int, np int) int {
+	if len(counts) != np {
+		panic(fmt.Sprintf("comm: counts length %d != np %d", len(counts), np))
+	}
+	total := 0
+	for r, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("comm: negative count %d for rank %d", c, r))
+		}
+		total += c
+	}
+	return total
+}
+
+// offsetsOf returns the prefix-sum offsets of counts.
+func offsetsOf(counts []int) []int {
+	offs := make([]int, len(counts)+1)
+	for i, c := range counts {
+		offs[i+1] = offs[i] + c
+	}
+	return offs
+}
+
+// GatherV collects variable-size blocks onto root in rank order. local
+// must have length counts[rank]. root returns the concatenation; other
+// ranks return nil.
+func (p *Proc) GatherV(root int, local []float64, counts []int) []float64 {
+	tag := p.nextTag(opGather)
+	np := p.m.np
+	total := checkCounts(counts, np)
+	if len(local) != counts[p.rank] {
+		panic(fmt.Sprintf("comm: GatherV rank %d local length %d != counts %d", p.rank, len(local), counts[p.rank]))
+	}
+	if p.rank != root {
+		p.Send(root, tag, Payload{Floats: local})
+		return nil
+	}
+	offs := offsetsOf(counts)
+	full := make([]float64, total)
+	copy(full[offs[root]:], local)
+	for r := 0; r < np; r++ {
+		if r == root {
+			continue
+		}
+		in := p.Recv(r, tag).Floats
+		if len(in) != counts[r] {
+			panic(fmt.Sprintf("comm: GatherV expected %d elements from %d, got %d", counts[r], r, len(in)))
+		}
+		copy(full[offs[r]:], in)
+	}
+	return full
+}
+
+// ScatterV is the inverse of GatherV: root holds the concatenation and
+// every rank receives its counts[rank]-sized block.
+func (p *Proc) ScatterV(root int, full []float64, counts []int) []float64 {
+	tag := p.nextTag(opScatter)
+	np := p.m.np
+	total := checkCounts(counts, np)
+	offs := offsetsOf(counts)
+	if p.rank == root {
+		if len(full) != total {
+			panic(fmt.Sprintf("comm: ScatterV full length %d != sum counts %d", len(full), total))
+		}
+		for r := 0; r < np; r++ {
+			if r == root {
+				continue
+			}
+			p.Send(r, tag, Payload{Floats: full[offs[r]:offs[r+1]]})
+		}
+		out := make([]float64, counts[root])
+		copy(out, full[offs[root]:offs[root+1]])
+		return out
+	}
+	return p.Recv(root, tag).Floats
+}
+
+// AllgatherV concatenates each rank's block (in rank order) onto every
+// processor — the "all-to-all broadcast of the local vector elements"
+// the paper charges to Scenario 1. For power-of-two NP it uses
+// recursive doubling (the hypercube algorithm behind the paper's
+// t_s·log NP + t_w·n·(NP-1)/NP expression, ceil(log2 NP) steps with
+// doubling block sizes and single-hop hypercube partners); otherwise
+// it falls back to the (NP-1)-step ring.
+func (p *Proc) AllgatherV(local []float64, counts []int) []float64 {
+	tag := p.nextTag(opAllgather)
+	np := p.m.np
+	total := checkCounts(counts, np)
+	if len(local) != counts[p.rank] {
+		panic(fmt.Sprintf("comm: AllgatherV rank %d local length %d != counts %d", p.rank, len(local), counts[p.rank]))
+	}
+	offs := offsetsOf(counts)
+	full := make([]float64, total)
+	copy(full[offs[p.rank]:], local)
+	if np == 1 {
+		return full
+	}
+	if np&(np-1) == 0 {
+		// Recursive doubling: before the step with group size k, this
+		// rank holds the k blocks [base, base+k) with base = rank&^(k-1).
+		for k := 1; k < np; k <<= 1 {
+			partner := p.rank ^ k
+			base := p.rank &^ (k - 1)
+			pbase := partner &^ (k - 1)
+			p.Send(partner, tag, Payload{Floats: full[offs[base]:offs[base+k]]})
+			in := p.Recv(partner, tag).Floats
+			copy(full[offs[pbase]:offs[pbase+k]], in)
+		}
+		return full
+	}
+	right := (p.rank + 1) % np
+	left := (p.rank - 1 + np) % np
+	for step := 0; step < np-1; step++ {
+		sendBlk := (p.rank - step + np) % np
+		recvBlk := (p.rank - step - 1 + np) % np
+		p.Send(right, tag, Payload{Floats: full[offs[sendBlk]:offs[sendBlk+1]]})
+		in := p.Recv(left, tag).Floats
+		copy(full[offs[recvBlk]:], in)
+	}
+	return full
+}
+
+// AllgatherVInts is AllgatherV for int blocks.
+func (p *Proc) AllgatherVInts(local []int, counts []int) []int {
+	tag := p.nextTag(opAllgather)
+	np := p.m.np
+	total := checkCounts(counts, np)
+	if len(local) != counts[p.rank] {
+		panic(fmt.Sprintf("comm: AllgatherVInts rank %d local length %d != counts %d", p.rank, len(local), counts[p.rank]))
+	}
+	offs := offsetsOf(counts)
+	full := make([]int, total)
+	copy(full[offs[p.rank]:], local)
+	if np == 1 {
+		return full
+	}
+	right := (p.rank + 1) % np
+	left := (p.rank - 1 + np) % np
+	for step := 0; step < np-1; step++ {
+		sendBlk := (p.rank - step + np) % np
+		recvBlk := (p.rank - step - 1 + np) % np
+		p.Send(right, tag, Payload{Ints: full[offs[sendBlk]:offs[sendBlk+1]]})
+		in := p.Recv(left, tag).Ints
+		copy(full[offs[recvBlk]:], in)
+	}
+	return full
+}
+
+// AlltoallV exchanges personalised blocks: segments[d] goes to rank d,
+// and the returned slice holds what each rank sent to us (indexed by
+// source rank). segments[rank] is passed through (copied) untouched.
+func (p *Proc) AlltoallV(segments [][]float64) [][]float64 {
+	tag := p.nextTag(opAlltoall)
+	np := p.m.np
+	if len(segments) != np {
+		panic(fmt.Sprintf("comm: AlltoallV needs %d segments, got %d", np, len(segments)))
+	}
+	out := make([][]float64, np)
+	own := make([]float64, len(segments[p.rank]))
+	copy(own, segments[p.rank])
+	out[p.rank] = own
+	for off := 1; off < np; off++ {
+		dst := (p.rank + off) % np
+		p.Send(dst, tag, Payload{Floats: segments[dst]})
+	}
+	for off := 1; off < np; off++ {
+		src := (p.rank - off + np) % np
+		out[src] = p.Recv(src, tag).Floats
+	}
+	return out
+}
+
+// ReduceScatterSum sums a full-length vector contributed by every
+// processor and leaves each rank with its counts[rank]-sized block of
+// the sum. This is exactly the MERGE(+) operation of the paper's
+// proposed PRIVATE extension (§5.1): each processor's private full-size
+// accumulator is merged and re-distributed. Implemented as a
+// personalised all-to-all of the blocks followed by local summation:
+// (NP-1) messages of ~n/NP elements each, the same asymptotic cost as
+// Scenario 1's broadcast, matching the paper's observation that the two
+// partitionings have equal communication time.
+func (p *Proc) ReduceScatterSum(full []float64, counts []int) []float64 {
+	np := p.m.np
+	total := checkCounts(counts, np)
+	if len(full) != total {
+		panic(fmt.Sprintf("comm: ReduceScatterSum full length %d != sum counts %d", len(full), total))
+	}
+	offs := offsetsOf(counts)
+	segs := make([][]float64, np)
+	for r := 0; r < np; r++ {
+		segs[r] = full[offs[r]:offs[r+1]]
+	}
+	parts := p.AlltoallV(segs)
+	out := make([]float64, counts[p.rank])
+	copy(out, parts[p.rank])
+	for r := 0; r < np; r++ {
+		if r == p.rank {
+			continue
+		}
+		part := parts[r]
+		if len(part) != len(out) {
+			panic(fmt.Sprintf("comm: ReduceScatterSum expected %d elements from %d, got %d", len(out), r, len(part)))
+		}
+		for i, v := range part {
+			out[i] += v
+		}
+		p.Compute(len(out))
+	}
+	return out
+}

@@ -1,0 +1,383 @@
+// Package comm implements the message-passing substrate the paper's
+// HPF runtime compiles to. Go has no MPI or array-parallel library, so
+// this package builds one: a Machine runs NP virtual processors as
+// goroutines in SPMD style, each with typed point-to-point sends over
+// buffered channels and the usual collectives (barrier, broadcast,
+// reduce, allreduce, gather/scatter, allgather, alltoall,
+// reduce-scatter) built from binomial-tree and ring algorithms.
+//
+// Alongside real execution, every processor advances a modeled clock
+// using the Kumar-style cost model the paper's §4 analysis uses: a
+// b-byte message over h hops costs t_s + h*t_h + b*t_w, and f flops
+// cost f*t_f. The modeled parallel time of a run is the maximum clock
+// over processors, so experiments can compare simulated collective
+// costs against the paper's closed-form expressions while still
+// checking numerical results for real.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hpfcg/internal/topology"
+)
+
+// Payload is the unit of data exchanged between processors. A message
+// may carry floats, ints, or both; modeled size is 8 bytes per element.
+type Payload struct {
+	Floats []float64
+	Ints   []int
+}
+
+// Bytes returns the modeled wire size of the payload.
+func (pl Payload) Bytes() int { return 8 * (len(pl.Floats) + len(pl.Ints)) }
+
+type message struct {
+	tag    int
+	pl     Payload
+	depart float64 // sender's modeled clock when the message left
+	hops   int
+}
+
+// Machine is an NP-processor virtual parallel computer with a fixed
+// interconnection topology and cost parameters. A Machine is reusable:
+// each Run gets fresh mailboxes.
+type Machine struct {
+	np   int
+	topo topology.Topology
+	cost topology.CostParams
+}
+
+// NewMachine creates a machine of np processors connected by topo and
+// charged according to cost. np must be >= 1.
+func NewMachine(np int, topo topology.Topology, cost topology.CostParams) *Machine {
+	if np < 1 {
+		panic(fmt.Sprintf("comm: NewMachine with np=%d", np))
+	}
+	return &Machine{np: np, topo: topo, cost: cost}
+}
+
+// NP returns the number of processors.
+func (m *Machine) NP() int { return m.np }
+
+// Topology returns the machine's interconnection network.
+func (m *Machine) Topology() topology.Topology { return m.topo }
+
+// Cost returns the machine's cost parameters.
+func (m *Machine) Cost() topology.CostParams { return m.cost }
+
+// ProcStats accumulates per-processor accounting during a Run.
+type ProcStats struct {
+	MsgsSent    int64   // point-to-point messages sent
+	BytesSent   int64   // modeled bytes sent
+	Flops       int64   // floating-point operations charged via Compute
+	SendTime    float64 // modeled time spent in send overheads
+	WaitTime    float64 // modeled time spent waiting for messages
+	ComputeTime float64 // modeled time spent computing
+}
+
+// RunStats summarises one Run of a Machine.
+type RunStats struct {
+	ModelTime  float64     // modeled parallel time: max processor clock
+	Procs      []ProcStats // per-rank accounting
+	TotalMsgs  int64
+	TotalBytes int64
+	TotalFlops int64
+	MaxFlops   int64 // flops on the most loaded processor
+	// BytesMatrix[src][dst] is the modeled bytes sent from src to dst —
+	// the communication matrix, which makes the difference between a
+	// broadcast pattern (dense matrix) and a halo exchange (banded
+	// matrix) directly visible.
+	BytesMatrix [][]int64
+}
+
+// CommTime returns the modeled time the busiest processor spent in
+// communication (send overhead plus waiting).
+func (rs RunStats) CommTime() float64 {
+	max := 0.0
+	for _, ps := range rs.Procs {
+		if t := ps.SendTime + ps.WaitTime; t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// FlopImbalance returns max/mean flops across processors (1.0 is
+// perfectly balanced). Returns 1 when no flops were charged.
+func (rs RunStats) FlopImbalance() float64 {
+	if rs.TotalFlops == 0 {
+		return 1
+	}
+	mean := float64(rs.TotalFlops) / float64(len(rs.Procs))
+	return float64(rs.MaxFlops) / mean
+}
+
+type runCtx struct {
+	mail      [][]chan message // mail[src][dst]
+	bytes     [][]int64        // bytes[src][dst]; row src written only by src's goroutine
+	abort     chan struct{}
+	abortOnce sync.Once
+}
+
+func (rc *runCtx) doAbort() { rc.abortOnce.Do(func() { close(rc.abort) }) }
+
+// abortError marks panics injected into peers when some processor
+// failed first; Run suppresses these in favour of the primary panic.
+type abortError struct{}
+
+func (abortError) Error() string { return "comm: aborted because a peer processor failed" }
+
+// RunTimeout is Run with a deadlock watchdog: if the SPMD program has
+// not finished within d, every processor blocked in communication is
+// aborted and an error describing the hang is returned (with zero
+// stats). Mismatched collectives — the classic SPMD bug where one
+// processor takes a different branch — hang forever under Run;
+// RunTimeout turns them into a diagnosable failure.
+func (m *Machine) RunTimeout(fn func(p *Proc), d time.Duration) (RunStats, error) {
+	done := make(chan RunStats, 1)
+	panicked := make(chan any, 1)
+	var rcHolder atomic.Pointer[runCtx]
+	go func() {
+		defer func() {
+			if e := recover(); e != nil {
+				panicked <- e
+			}
+		}()
+		done <- m.run(fn, &rcHolder)
+	}()
+	select {
+	case rs := <-done:
+		return rs, nil
+	case e := <-panicked:
+		panic(e)
+	case <-time.After(d):
+		if rc := rcHolder.Load(); rc != nil {
+			rc.doAbort()
+		}
+		// Wait for the aborted run to unwind (it will re-panic with
+		// abortError, which the recover above forwards).
+		select {
+		case <-done:
+		case e := <-panicked:
+			if _, isAbort := e.(abortError); !isAbort {
+				panic(e)
+			}
+		}
+		return RunStats{}, fmt.Errorf("comm: SPMD program deadlocked (no completion within %v); likely mismatched collectives or unmatched send/recv", d)
+	}
+}
+
+// Run executes fn on every processor concurrently (SPMD) and returns
+// aggregate statistics. If any processor panics, Run re-panics with the
+// first failure after all goroutines have stopped.
+func (m *Machine) Run(fn func(p *Proc)) RunStats {
+	return m.run(fn, nil)
+}
+
+func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunStats {
+	rc := &runCtx{
+		mail:  make([][]chan message, m.np),
+		bytes: make([][]int64, m.np),
+		abort: make(chan struct{}),
+	}
+	if rcHolder != nil {
+		rcHolder.Store(rc)
+	}
+	for s := 0; s < m.np; s++ {
+		rc.mail[s] = make([]chan message, m.np)
+		rc.bytes[s] = make([]int64, m.np)
+		for d := 0; d < m.np; d++ {
+			rc.mail[s][d] = make(chan message, 8+m.np)
+		}
+	}
+
+	procs := make([]*Proc, m.np)
+	panics := make([]any, m.np)
+	var wg sync.WaitGroup
+	for r := 0; r < m.np; r++ {
+		p := &Proc{m: m, rc: rc, rank: r}
+		procs[r] = p
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if e := recover(); e != nil {
+					panics[rank] = e
+					rc.doAbort()
+				}
+			}()
+			fn(procs[rank])
+		}(r)
+	}
+	wg.Wait()
+
+	var primary any
+	for _, e := range panics {
+		if e == nil {
+			continue
+		}
+		if _, secondary := e.(abortError); secondary {
+			if primary == nil {
+				primary = e
+			}
+			continue
+		}
+		primary = e
+		break
+	}
+	if primary != nil {
+		panic(primary)
+	}
+
+	var rs RunStats
+	rs.Procs = make([]ProcStats, m.np)
+	rs.BytesMatrix = rc.bytes
+	for r, p := range procs {
+		rs.Procs[r] = p.stats
+		if p.clock > rs.ModelTime {
+			rs.ModelTime = p.clock
+		}
+		rs.TotalMsgs += p.stats.MsgsSent
+		rs.TotalBytes += p.stats.BytesSent
+		rs.TotalFlops += p.stats.Flops
+		if p.stats.Flops > rs.MaxFlops {
+			rs.MaxFlops = p.stats.Flops
+		}
+	}
+	return rs
+}
+
+// Proc is one virtual processor inside a Run. All methods must be
+// called from the goroutine Run started for this rank.
+type Proc struct {
+	m     *Machine
+	rc    *runCtx
+	rank  int
+	clock float64
+	seq   int // collective sequence number, for tag matching
+	stats ProcStats
+}
+
+// Rank returns this processor's rank in [0, NP).
+func (p *Proc) Rank() int { return p.rank }
+
+// NP returns the number of processors in the machine.
+func (p *Proc) NP() int { return p.m.np }
+
+// Clock returns the processor's current modeled time in seconds.
+func (p *Proc) Clock() float64 { return p.clock }
+
+// Stats returns a copy of the processor's accounting so far.
+func (p *Proc) Stats() ProcStats { return p.stats }
+
+// Compute charges flops floating-point operations to the modeled clock.
+func (p *Proc) Compute(flops int) {
+	if flops <= 0 {
+		return
+	}
+	dt := float64(flops) * p.m.cost.TFlop
+	p.clock += dt
+	p.stats.ComputeTime += dt
+	p.stats.Flops += int64(flops)
+}
+
+// maxUserTag bounds user point-to-point tags; collective traffic uses
+// tags above this.
+const maxUserTag = 1 << 20
+
+// Send transmits pl to processor dst with the given tag. Sends are
+// buffered (asynchronous): the sender is charged only the start-up
+// overhead t_s; transfer time is charged to the receiver on arrival.
+func (p *Proc) Send(dst, tag int, pl Payload) {
+	if dst < 0 || dst >= p.m.np {
+		panic(fmt.Sprintf("comm: Send to invalid rank %d (np=%d)", dst, p.m.np))
+	}
+	if dst == p.rank {
+		panic("comm: Send to self")
+	}
+	p.clock += p.m.cost.TStartup
+	p.stats.SendTime += p.m.cost.TStartup
+	p.stats.MsgsSent++
+	p.stats.BytesSent += int64(pl.Bytes())
+	p.rc.bytes[p.rank][dst] += int64(pl.Bytes())
+	msg := message{
+		tag:    tag,
+		pl:     pl,
+		depart: p.clock,
+		hops:   p.m.topo.Distance(p.rank, dst, p.m.np),
+	}
+	select {
+	case p.rc.mail[p.rank][dst] <- msg:
+	case <-p.rc.abort:
+		panic(abortError{})
+	}
+}
+
+// Recv blocks until a message from src with the expected tag arrives
+// and returns its payload. Messages between a pair of processors are
+// delivered in order; a tag mismatch indicates a protocol error and
+// panics.
+func (p *Proc) Recv(src, tag int) Payload {
+	if src < 0 || src >= p.m.np {
+		panic(fmt.Sprintf("comm: Recv from invalid rank %d (np=%d)", src, p.m.np))
+	}
+	if src == p.rank {
+		panic("comm: Recv from self")
+	}
+	var msg message
+	select {
+	case msg = <-p.rc.mail[src][p.rank]:
+	case <-p.rc.abort:
+		panic(abortError{})
+	}
+	if msg.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", p.rank, tag, src, msg.tag))
+	}
+	// The head of the message arrives after the network latency; the
+	// body then occupies the receiver's link for bytes*t_w. Charging the
+	// transfer on the receiver serialises concurrent incoming messages
+	// (finite receive bandwidth, as in the LogGP model) — without this,
+	// an all-to-all would absorb NP-1 transfers for the price of one.
+	head := msg.depart + float64(msg.hops)*p.m.cost.THop
+	if head > p.clock {
+		p.stats.WaitTime += head - p.clock
+		p.clock = head
+	}
+	body := float64(msg.pl.Bytes()) * p.m.cost.TByte
+	p.clock += body
+	p.stats.WaitTime += body
+	return msg.pl
+}
+
+// SendFloats sends a float slice (the slice is not copied; the caller
+// must not mutate it afterwards within the same superstep).
+func (p *Proc) SendFloats(dst, tag int, x []float64) { p.Send(dst, tag, Payload{Floats: x}) }
+
+// RecvFloats receives a float slice sent with SendFloats.
+func (p *Proc) RecvFloats(src, tag int) []float64 { return p.Recv(src, tag).Floats }
+
+// SendInts sends an int slice.
+func (p *Proc) SendInts(dst, tag int, x []int) { p.Send(dst, tag, Payload{Ints: x}) }
+
+// RecvInts receives an int slice sent with SendInts.
+func (p *Proc) RecvInts(src, tag int) []int { return p.Recv(src, tag).Ints }
+
+// nextTag returns a fresh tag for one collective operation. All ranks
+// execute collectives in the same order, so sequence numbers agree.
+func (p *Proc) nextTag(op int) int {
+	p.seq++
+	return maxUserTag + p.seq*16 + op
+}
+
+const (
+	opBarrier = iota
+	opBcast
+	opReduce
+	opGather
+	opScatter
+	opAllgather
+	opAlltoall
+)

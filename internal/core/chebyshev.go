@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/spmv"
+)
+
+// Chebyshev is the distributed Chebyshev semi-iteration: the
+// communication-minimal solver for the §4 cost model. Where every CG
+// iteration pays two or three DOT_PRODUCT merges (t_s·log NP
+// allreduces each), the Chebyshev recurrence needs none — its only
+// communication is the matrix product plus one norm per checkEvery
+// iterations for the stopping test. On machines with large t_s it
+// therefore beats CG per unit of modeled time even when it needs more
+// iterations (experiment E17). Spectral bounds come from a short CG
+// probe (seq.Options.EstimateSpectrum) or analytic knowledge.
+func Chebyshev(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, eigMin, eigMax float64, opt Options) (Stats, error) {
+	if !(eigMin > 0) || !(eigMax >= eigMin) {
+		return Stats{}, fmt.Errorf("core: Chebyshev needs 0 < eigMin <= eigMax, got [%g, %g]", eigMin, eigMax)
+	}
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+
+	d := (eigMax + eigMin) / 2
+	cc := (eigMax - eigMin) / 2
+	pv := darray.NewAligned(b)
+	q := darray.NewAligned(b)
+	var alpha, beta float64
+	const checkEvery = 10
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		if k == 1 {
+			pv.CopyFrom(r)
+			st.AXPYs++
+			alpha = 1 / d
+		} else {
+			beta = (cc * alpha / 2) * (cc * alpha / 2)
+			alpha = 1 / (d - beta/alpha)
+			o.aypx(pv, beta, r)
+		}
+		o.axpy(x, alpha, pv)
+		o.apply(A, pv, q)
+		o.axpy(r, -alpha, q)
+		if k%checkEvery == 0 || k == opt.MaxIter {
+			rn = r.Norm2()
+			st.DotProducts++
+			rel := rn / bn
+			o.record(rel, opt)
+			if rel <= opt.Tol {
+				st.Converged = true
+				st.Residual = rel
+				return st, nil
+			}
+		}
+	}
+	rn = r.Norm2()
+	st.DotProducts++
+	st.Residual = rn / bn
+	if st.Residual <= opt.Tol {
+		st.Converged = true
+	}
+	return st, nil
+}

@@ -1,0 +1,423 @@
+// Package core implements the paper's subject matter: conjugate
+// gradient iterative solvers expressed over the HPF-style data-parallel
+// runtime — distributed vectors (darray), HPF distributions (dist) and
+// the two matrix-vector partitionings (spmv). Each solver is the
+// direct data-parallel transcription of its sequential counterpart in
+// package seq; the code shape matches the paper's Figure 2:
+//
+//	DO k=1,Niter
+//	  rho0 = rho
+//	  rho  = DOT_PRODUCT(r, r)       ! sdot   (allreduce merge)
+//	  beta = rho / rho0
+//	  p    = beta*p + r              ! saypx  (local)
+//	  q    = A . p                   ! distributed mat-vec
+//	  alpha = rho / DOT_PRODUCT(p,q)
+//	  x    = x + alpha*p             ! saxpy  (local)
+//	  r    = r - alpha*q             ! saxpy  (local)
+//	  IF (stop_criterion) EXIT
+//	END DO
+//
+// Every processor of a comm.Machine executes the same solver body
+// (SPMD); scalars such as rho and alpha are produced by collective
+// reductions, so control flow stays identical across processors.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/spmv"
+)
+
+// ErrBreakdown mirrors seq.ErrBreakdown for the distributed solvers.
+var ErrBreakdown = errors.New("core: iterative method breakdown")
+
+// Options controls iteration limits and tolerance.
+type Options struct {
+	// Tol is the threshold on the relative residual ||r||/||b||.
+	// Zero means 1e-10.
+	Tol float64
+	// MaxIter limits iterations; zero means 2*n.
+	MaxIter int
+	// History, when true, records the relative residual per iteration.
+	History bool
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 2 * n
+	}
+	return o
+}
+
+// Stats reports a distributed solve's outcome and operation structure
+// (identical on every processor).
+type Stats struct {
+	Iterations   int
+	Converged    bool
+	Residual     float64
+	MatVecs      int
+	TransMatVecs int
+	DotProducts  int
+	AXPYs        int
+	History      []float64
+}
+
+// String summarises the stats.
+func (s Stats) String() string {
+	return fmt.Sprintf("iters=%d converged=%v relres=%.3e matvec=%d matvecT=%d dot=%d axpy=%d",
+		s.Iterations, s.Converged, s.Residual, s.MatVecs, s.TransMatVecs, s.DotProducts, s.AXPYs)
+}
+
+type ops struct{ s *Stats }
+
+func (o ops) dot(a, b *darray.Vector) float64 {
+	o.s.DotProducts++
+	return a.Dot(b)
+}
+
+func (o ops) axpy(y *darray.Vector, alpha float64, x *darray.Vector) {
+	o.s.AXPYs++
+	y.AXPY(alpha, x)
+}
+
+func (o ops) aypx(y *darray.Vector, beta float64, x *darray.Vector) {
+	o.s.AXPYs++
+	y.AYPX(beta, x)
+}
+
+func (o ops) apply(A spmv.Operator, x, y *darray.Vector) {
+	o.s.MatVecs++
+	A.Apply(x, y)
+}
+
+func (o ops) applyT(A spmv.TransposeOperator, x, y *darray.Vector) {
+	o.s.TransMatVecs++
+	A.ApplyT(x, y)
+}
+
+func (o ops) record(rel float64, opt Options) {
+	if opt.History {
+		o.s.History = append(o.s.History, rel)
+	}
+}
+
+// residual0 computes r = b - A*x and returns (||r||, ||b||, counting
+// one matvec and two dots).
+func residual0(o ops, A spmv.Operator, b, x, r *darray.Vector) (rn, bn float64) {
+	o.apply(A, x, r)
+	r.Scale(-1)
+	o.axpy(r, 1, b)
+	rn = r.Norm2()
+	bn = b.Norm2()
+	o.s.DotProducts += 2
+	if bn == 0 {
+		bn = 1
+	}
+	return rn, bn
+}
+
+// CG solves A·x = b on the distributed machine — the Figure 2 HPF
+// code. x carries the initial guess in and the solution out; b and x
+// must be aligned with A's vector distribution.
+func CG(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	pv := r.Clone()
+	q := darray.NewAligned(b)
+	rho := o.dot(r, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, q)
+		pq := o.dot(pv, q)
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		o.axpy(r, -alpha, q)
+		rn = r.Norm2()
+		st.DotProducts++
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = o.dot(r, r)
+		if rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, r)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// PCG is CG with a distributed preconditioner (z = M⁻¹r per
+// iteration).
+func PCG(p *comm.Proc, A spmv.Operator, M Preconditioner, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	z := darray.NewAligned(b)
+	M.Apply(r, z)
+	pv := z.Clone()
+	q := darray.NewAligned(b)
+	rho := o.dot(r, z)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, q)
+		pq := o.dot(pv, q)
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		o.axpy(r, -alpha, q)
+		rn = r.Norm2()
+		st.DotProducts++
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		M.Apply(r, z)
+		rho0 := rho
+		rho = o.dot(r, z)
+		if rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, z)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// BiCG solves a general system using the two-residual recurrence. A
+// must support the transpose product; under a row-block distribution
+// that product re-introduces the merge communication (§2.1), which is
+// why the paper singles BiCG out.
+func BiCG(p *comm.Proc, A spmv.TransposeOperator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	rt := r.Clone()
+	pv := r.Clone()
+	pt := rt.Clone()
+	q := darray.NewAligned(b)
+	qt := darray.NewAligned(b)
+	rho := o.dot(rt, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, q)
+		o.applyT(A, pt, qt)
+		ptq := o.dot(pt, q)
+		if ptq == 0 {
+			return st, fmt.Errorf("%w: p̃·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / ptq
+		o.axpy(x, alpha, pv)
+		o.axpy(r, -alpha, q)
+		o.axpy(rt, -alpha, qt)
+		rn = r.Norm2()
+		st.DotProducts++
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = o.dot(rt, r)
+		if rho == 0 || rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, r)
+		o.aypx(pt, beta, rt)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// CGS avoids A^T with two forward products per iteration (§2.1), at
+// the cost of possibly irregular convergence.
+func CGS(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	rt := r.Clone()
+	pv := r.Clone()
+	u := r.Clone()
+	qv := darray.NewAligned(b)
+	vh := darray.NewAligned(b)
+	uq := darray.NewAligned(b)
+	rho := o.dot(rt, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, vh)
+		sigma := o.dot(rt, vh)
+		if sigma == 0 {
+			return st, fmt.Errorf("%w: r̃·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / sigma
+		qv.CopyFrom(u)
+		o.axpy(qv, -alpha, vh) // q = u - alpha*A*p
+		uq.CopyFrom(u)
+		o.axpy(uq, 1, qv) // uq = u + q
+		o.axpy(x, alpha, uq)
+		o.apply(A, uq, vh)
+		o.axpy(r, -alpha, vh)
+		rn = r.Norm2()
+		st.DotProducts++
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = o.dot(rt, r)
+		if rho == 0 || rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		u.CopyFrom(r)
+		o.axpy(u, beta, qv) // u = r + beta*q
+		// p = u + beta*(q + beta*p)
+		o.aypx(pv, beta, qv) // p = beta*p + q
+		o.aypx(pv, beta, u)  // p = beta*p + u
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// BiCGSTAB is the stabilized variant: no A^T, two forward products and
+// four inner products per iteration — the paper's note about demand on
+// the DOT_PRODUCT intrinsic, visible here as four allreduce merges per
+// loop.
+func BiCGSTAB(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	var st Stats
+	o := ops{&st}
+
+	r := darray.NewAligned(b)
+	rn, bn := residual0(o, A, b, x, r)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	rt := r.Clone()
+	pv := r.Clone()
+	v := darray.NewAligned(b)
+	s := darray.NewAligned(b)
+	tv := darray.NewAligned(b)
+	rho := o.dot(rt, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, v)
+		rtv := o.dot(rt, v)
+		if rtv == 0 {
+			return st, fmt.Errorf("%w: r̃·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / rtv
+		s.CopyFrom(r)
+		o.axpy(s, -alpha, v)
+		o.apply(A, s, tv)
+		tt := o.dot(tv, tv)
+		var omega float64
+		if tt != 0 {
+			omega = o.dot(tv, s) / tt
+		}
+		if omega == 0 {
+			o.axpy(x, alpha, pv)
+			r.CopyFrom(s)
+			rn = r.Norm2()
+			st.DotProducts++
+			rel := rn / bn
+			o.record(rel, opt)
+			if rel <= opt.Tol {
+				st.Converged = true
+				st.Residual = rel
+				return st, nil
+			}
+			return st, fmt.Errorf("%w: omega = 0 at iteration %d", ErrBreakdown, k)
+		}
+		o.axpy(x, alpha, pv)
+		o.axpy(x, omega, s)
+		r.CopyFrom(s)
+		o.axpy(r, -omega, tv)
+		rn = r.Norm2()
+		st.DotProducts++
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = o.dot(rt, r)
+		if rho == 0 || rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := (rho / rho0) * (alpha / omega)
+		o.axpy(pv, -omega, v) // p = p - omega*v
+		o.aypx(pv, beta, r)   // p = beta*p + r
+	}
+	st.Residual = rn / bn
+	return st, nil
+}

@@ -1,0 +1,258 @@
+// Package darray provides distributed one-dimensional arrays over the
+// comm machine — the runtime realisation of HPF's distributed vectors
+// in the paper's Figure 2. It supplies the three vector-operation
+// classes §4 analyses:
+//
+//   - SAXPY-style parallel array assignments (AXPY, AYPX, Scale, ...),
+//     which run in O(n/NP) with no communication because all operand
+//     vectors are mutually ALIGNed (share one descriptor);
+//   - the DOT_PRODUCT intrinsic, whose element-wise phase is local and
+//     whose merge phase is a t_s·log NP allreduce;
+//   - gather/broadcast of a whole vector (the all-to-all broadcast
+//     Scenario 1 needs to make p fully available).
+//
+// A Vector is an SPMD object: every processor holds its own *Vector
+// with the same shared descriptor but only the local block of data.
+package darray
+
+import (
+	"fmt"
+	"math"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/dist"
+)
+
+// Vector is the per-processor view of a distributed vector.
+type Vector struct {
+	p   *comm.Proc
+	d   dist.Dist
+	loc []float64
+}
+
+// New creates a distributed vector of the given descriptor, zero
+// initialised. Must be called by every processor of the machine with
+// an identical descriptor (HPF ALIGN = sharing d).
+func New(p *comm.Proc, d dist.Dist) *Vector {
+	if d.NP() != p.NP() {
+		panic(fmt.Sprintf("darray: descriptor NP %d != machine NP %d", d.NP(), p.NP()))
+	}
+	return &Vector{p: p, d: d, loc: make([]float64, d.Count(p.Rank()))}
+}
+
+// NewAligned creates a vector aligned with v (same descriptor) — HPF's
+// `ALIGN (:) WITH p(:)`.
+func NewAligned(v *Vector) *Vector { return New(v.p, v.d) }
+
+// Dist returns the vector's distribution descriptor.
+func (v *Vector) Dist() dist.Dist { return v.d }
+
+// Proc returns the owning processor context.
+func (v *Vector) Proc() *comm.Proc { return v.p }
+
+// Len returns the global length.
+func (v *Vector) Len() int { return v.d.N() }
+
+// Local returns the local block (a view; mutating it mutates the
+// vector).
+func (v *Vector) Local() []float64 { return v.loc }
+
+// sameDist panics unless w is aligned with v. HPF would insert
+// communication for unaligned operands; this runtime (like the paper's
+// codes) requires explicit alignment so every vector op is local.
+func (v *Vector) sameDist(w *Vector) {
+	if !dist.Same(v.d, w.d) {
+		panic(fmt.Sprintf("darray: operands not aligned: %v vs %v", v.d.Name(), w.d.Name()))
+	}
+}
+
+// Fill sets every element to c.
+func (v *Vector) Fill(c float64) {
+	for i := range v.loc {
+		v.loc[i] = c
+	}
+}
+
+// SetGlobal initialises the local block from a function of the global
+// index (owner-computes: each processor evaluates only its own part).
+func (v *Vector) SetGlobal(f func(g int) float64) {
+	r := v.p.Rank()
+	for off := range v.loc {
+		v.loc[off] = f(v.d.Global(r, off))
+	}
+}
+
+// CopyFrom copies w into v (aligned operands, no communication).
+func (v *Vector) CopyFrom(w *Vector) {
+	v.sameDist(w)
+	copy(v.loc, w.loc)
+}
+
+// Clone returns an aligned copy of v.
+func (v *Vector) Clone() *Vector {
+	c := NewAligned(v)
+	copy(c.loc, v.loc)
+	return c
+}
+
+// AXPY computes v = v + alpha*x (the paper's saxpy), locally in
+// O(n/NP).
+func (v *Vector) AXPY(alpha float64, x *Vector) {
+	v.sameDist(x)
+	for i := range v.loc {
+		v.loc[i] += alpha * x.loc[i]
+	}
+	v.p.Compute(2 * len(v.loc))
+}
+
+// AYPX computes v = beta*v + x (the paper's saypx, used for
+// p = beta*p + r), locally in O(n/NP).
+func (v *Vector) AYPX(beta float64, x *Vector) {
+	v.sameDist(x)
+	for i := range v.loc {
+		v.loc[i] = beta*v.loc[i] + x.loc[i]
+	}
+	v.p.Compute(2 * len(v.loc))
+}
+
+// Scale computes v = alpha*v.
+func (v *Vector) Scale(alpha float64) {
+	for i := range v.loc {
+		v.loc[i] *= alpha
+	}
+	v.p.Compute(len(v.loc))
+}
+
+// Dot is the DOT_PRODUCT intrinsic: local element-wise products and
+// partial sum (no communication), then a t_s·log NP allreduce merge.
+func (v *Vector) Dot(x *Vector) float64 {
+	v.sameDist(x)
+	s := 0.0
+	for i := range v.loc {
+		s += v.loc[i] * x.loc[i]
+	}
+	v.p.Compute(2 * len(v.loc))
+	return v.p.AllreduceScalar(s, comm.OpSum)
+}
+
+// Norm2 returns the Euclidean norm sqrt(v . v).
+func (v *Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Sum is the HPF SUM intrinsic over the whole vector.
+func (v *Vector) Sum() float64 {
+	s := 0.0
+	for _, x := range v.loc {
+		s += x
+	}
+	v.p.Compute(len(v.loc))
+	return v.p.AllreduceScalar(s, comm.OpSum)
+}
+
+// MaxAbs returns the infinity norm, used by stopping criteria.
+func (v *Vector) MaxAbs() float64 {
+	s := 0.0
+	for _, x := range v.loc {
+		if a := math.Abs(x); a > s {
+			s = a
+		}
+	}
+	v.p.Compute(len(v.loc))
+	return v.p.AllreduceScalar(s, comm.OpMax)
+}
+
+// Gather returns the full global vector on every processor — the
+// "all-to-all broadcast of the local vector elements" of Scenario 1.
+// Cost: (NP-1) ring steps of ~n/NP elements each. For non-contiguous
+// (CYCLIC) descriptors the gathered blocks are permuted back into
+// global order locally.
+func (v *Vector) Gather() []float64 {
+	counts := dist.Counts(v.d)
+	packed := v.p.AllgatherV(v.loc, counts)
+	if _, contiguous := v.d.(dist.Contiguous); contiguous {
+		return packed
+	}
+	full := make([]float64, v.d.N())
+	off := 0
+	for r := 0; r < v.d.NP(); r++ {
+		for l := 0; l < counts[r]; l++ {
+			full[v.d.Global(r, l)] = packed[off]
+			off++
+		}
+	}
+	return full
+}
+
+// ScatterFrom distributes a full global vector held at root into v.
+func (v *Vector) ScatterFrom(root int, full []float64) {
+	counts := dist.Counts(v.d)
+	var packed []float64
+	if v.p.Rank() == root {
+		if len(full) != v.d.N() {
+			panic(fmt.Sprintf("darray: ScatterFrom length %d != %d", len(full), v.d.N()))
+		}
+		packed = make([]float64, v.d.N())
+		off := 0
+		for r := 0; r < v.d.NP(); r++ {
+			for l := 0; l < counts[r]; l++ {
+				packed[off] = full[v.d.Global(r, l)]
+				off++
+			}
+		}
+	}
+	copy(v.loc, v.p.ScatterV(root, packed, counts))
+}
+
+// ReduceScatterFrom merges per-processor full-length private copies
+// (the paper's PRIVATE ... WITH MERGE(+)) into the distributed vector:
+// each processor contributes priv (length n); afterwards v holds the
+// element-wise sum, distributed by its descriptor. Only contiguous
+// descriptors are supported (the merge target in the paper is the
+// BLOCK-distributed q).
+func (v *Vector) ReduceScatterFrom(priv []float64) {
+	if len(priv) != v.d.N() {
+		panic(fmt.Sprintf("darray: ReduceScatterFrom length %d != %d", len(priv), v.d.N()))
+	}
+	if _, contiguous := v.d.(dist.Contiguous); !contiguous {
+		panic("darray: ReduceScatterFrom requires a contiguous descriptor")
+	}
+	counts := dist.Counts(v.d)
+	copy(v.loc, v.p.ReduceScatterSum(priv, counts))
+}
+
+// String formats the local block for debugging.
+func (v *Vector) String() string {
+	return fmt.Sprintf("Vector{rank=%d, dist=%s, local=%v}", v.p.Rank(), v.d.Name(), v.loc)
+}
+
+// MaxVal is the HPF MAXVAL intrinsic: the maximum element value.
+func (v *Vector) MaxVal() float64 {
+	s := math.Inf(-1)
+	for _, x := range v.loc {
+		if x > s {
+			s = x
+		}
+	}
+	v.p.Compute(len(v.loc))
+	return v.p.AllreduceScalar(s, comm.OpMax)
+}
+
+// MinVal is the HPF MINVAL intrinsic: the minimum element value.
+func (v *Vector) MinVal() float64 {
+	s := math.Inf(1)
+	for _, x := range v.loc {
+		if x < s {
+			s = x
+		}
+	}
+	v.p.Compute(len(v.loc))
+	return v.p.AllreduceScalar(s, comm.OpMin)
+}
+
+// Hadamard computes v = v .* x (element-wise product), locally.
+func (v *Vector) Hadamard(x *Vector) {
+	v.sameDist(x)
+	for i := range v.loc {
+		v.loc[i] *= x.loc[i]
+	}
+	v.p.Compute(len(v.loc))
+}

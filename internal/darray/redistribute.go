@@ -1,0 +1,63 @@
+package darray
+
+import (
+	"fmt"
+
+	"hpfcg/internal/dist"
+)
+
+// RedistributeTo returns a copy of v mapped by newDist — the runtime
+// realisation of HPF's REDISTRIBUTE directive (the paper's DYNAMIC
+// arrays change distribution once runtime data is known, §5.2.1). The
+// exchange is a personalised all-to-all: each processor packs, for
+// every destination, the values of its elements that the destination
+// owns under the new descriptor.
+//
+// Both descriptors must enumerate their local elements in increasing
+// global order (Global(r, off) monotone in off), which holds for every
+// distribution in package dist; sender pack order and receiver unpack
+// order then agree without shipping index lists.
+func (v *Vector) RedistributeTo(newDist dist.Dist) *Vector {
+	if newDist.N() != v.d.N() {
+		panic(fmt.Sprintf("darray: redistribute to length %d, have %d", newDist.N(), v.d.N()))
+	}
+	if newDist.NP() != v.d.NP() {
+		panic(fmt.Sprintf("darray: redistribute to NP %d, have %d", newDist.NP(), v.d.NP()))
+	}
+	out := New(v.p, newDist)
+	if dist.Same(v.d, newDist) {
+		copy(out.loc, v.loc)
+		return out
+	}
+	np := v.p.NP()
+	r := v.p.Rank()
+
+	// Pack by destination, walking local elements in global order.
+	segs := make([][]float64, np)
+	for off, val := range v.loc {
+		g := v.d.Global(r, off)
+		dst := newDist.Owner(g)
+		segs[dst] = append(segs[dst], val)
+	}
+	parts := v.p.AlltoallV(segs)
+
+	// Unpack: walk the new local elements in global order, pulling the
+	// next value from the segment of each element's old owner.
+	next := make([]int, np)
+	for off := range out.loc {
+		g := newDist.Global(r, off)
+		src := v.d.Owner(g)
+		part := parts[src]
+		if next[src] >= len(part) {
+			panic(fmt.Sprintf("darray: redistribute underflow from rank %d", src))
+		}
+		out.loc[off] = part[next[src]]
+		next[src]++
+	}
+	for src, n := range next {
+		if n != len(parts[src]) {
+			panic(fmt.Sprintf("darray: redistribute left %d elements from rank %d", len(parts[src])-n, src))
+		}
+	}
+	return out
+}

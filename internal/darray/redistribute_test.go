@@ -1,0 +1,140 @@
+package darray
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/dist"
+)
+
+func TestRedistributeBlockToCyclic(t *testing.T) {
+	for _, np := range testNPs {
+		n := 7*np + 3
+		src := dist.NewBlock(n, np)
+		dstD := dist.NewCyclic(n, np)
+		machine(np).Run(func(p *comm.Proc) {
+			v := New(p, src)
+			v.SetGlobal(func(g int) float64 { return float64(3*g + 1) })
+			w := v.RedistributeTo(dstD)
+			// Every element must be intact under the new mapping.
+			r := p.Rank()
+			for off, val := range w.Local() {
+				g := dstD.Global(r, off)
+				if val != float64(3*g+1) {
+					t.Errorf("np=%d rank=%d: elem %d = %g", np, r, g, val)
+					return
+				}
+			}
+			full := w.Gather()
+			for g := range full {
+				if full[g] != float64(3*g+1) {
+					t.Errorf("np=%d: gathered %d = %g", np, g, full[g])
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestRedistributeToIrregular(t *testing.T) {
+	np := 4
+	n := 20
+	src := dist.NewBlock(n, np)
+	dstD := dist.NewIrregular([]int{0, 1, 1, 14, 20}) // includes an empty proc
+	machine(np).Run(func(p *comm.Proc) {
+		v := New(p, src)
+		v.SetGlobal(func(g int) float64 { return float64(g * g) })
+		w := v.RedistributeTo(dstD)
+		full := w.Gather()
+		for g := range full {
+			if full[g] != float64(g*g) {
+				t.Fatalf("elem %d = %g", g, full[g])
+			}
+		}
+	})
+}
+
+func TestRedistributeSameDistIsCopy(t *testing.T) {
+	np := 3
+	d := dist.NewBlock(9, np)
+	machine(np).Run(func(p *comm.Proc) {
+		v := New(p, d)
+		v.Fill(5)
+		w := v.RedistributeTo(dist.NewBlock(9, np))
+		w.Scale(2)
+		if v.Local()[0] != 5 {
+			t.Error("redistribute aliased the source")
+		}
+		if w.Local()[0] != 10 {
+			t.Errorf("copy wrong: %g", w.Local()[0])
+		}
+	})
+}
+
+func TestRedistributeValidation(t *testing.T) {
+	m := machine(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length mismatch panic")
+		}
+	}()
+	m.Run(func(p *comm.Proc) {
+		v := New(p, dist.NewBlock(10, 2))
+		v.RedistributeTo(dist.NewBlock(11, 2))
+	})
+}
+
+// Property: redistribute is lossless for random distributions and a
+// round trip restores the original local data.
+func TestRedistributeQuick(t *testing.T) {
+	f := func(seed int64, nRaw, npRaw, kindRaw uint8) bool {
+		np := int(npRaw%4) + 1
+		n := int(nRaw%40) + np
+		var d2 dist.Dist
+		switch kindRaw % 3 {
+		case 0:
+			d2 = dist.NewCyclic(n, np)
+		case 1:
+			d2 = dist.NewCyclicK(n, np, 3)
+		default:
+			cuts := []int{0}
+			rng := rand.New(rand.NewSource(seed))
+			for r := 1; r < np; r++ {
+				lo := cuts[r-1]
+				cuts = append(cuts, lo+rng.Intn(n-lo+1))
+			}
+			cuts = append(cuts, n)
+			d2 = dist.NewIrregular(cuts)
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		ref := make([]float64, n)
+		for i := range ref {
+			ref[i] = rng.NormFloat64()
+		}
+		ok := true
+		d1 := dist.NewBlock(n, np)
+		machine(np).Run(func(p *comm.Proc) {
+			v := New(p, d1)
+			v.SetGlobal(func(g int) float64 { return ref[g] })
+			w := v.RedistributeTo(d2)
+			back := w.RedistributeTo(d1)
+			for off, val := range back.Local() {
+				if val != v.Local()[off] {
+					ok = false
+				}
+			}
+			full := w.Gather()
+			for g := range full {
+				if full[g] != ref[g] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

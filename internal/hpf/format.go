@@ -1,0 +1,119 @@
+package hpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements the directive formatter: every Directive can
+// render itself back to canonical source form, and Format renders a
+// whole Program. The formatter round-trips through the parser
+// (Parse(Format(p)) produces an equivalent program), which the tests
+// verify — the property that makes the package usable as a directive
+// pretty-printer and not just a reader.
+
+// Format renders all directives of a program in canonical form, one
+// per line with the appropriate sentinel (!HPF$ for standard
+// directives, !EXT$ for the paper's proposed extensions).
+func Format(p *Program) string {
+	var b strings.Builder
+	for _, d := range p.Directives {
+		b.WriteString(FormatDirective(d))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// FormatDirective renders one directive with its sentinel.
+func FormatDirective(d Directive) string {
+	switch d := d.(type) {
+	case Processors:
+		return fmt.Sprintf("!HPF$ PROCESSORS :: %s(%s)", strings.ToUpper(d.Name), exprSrc(d.Count))
+	case Distribute:
+		prefix := "!HPF$ "
+		if d.Dynamic {
+			prefix += "DYNAMIC, "
+		}
+		return fmt.Sprintf("%sDISTRIBUTE %s(%s)", prefix, d.Array, d.Pat)
+	case Align:
+		prefix := "!HPF$ "
+		if d.Dynamic {
+			prefix += "DYNAMIC, "
+		}
+		src := d.Source
+		out := fmt.Sprintf("%sALIGN %s%s WITH %s%s", prefix, src, dimsSrc(d.SourceDims), d.Target, dimsSrc(d.TargetDims))
+		if len(d.Extra) > 0 {
+			out += " :: " + strings.Join(d.Extra, ", ")
+		}
+		return out
+	case Redistribute:
+		if d.Partitioner != "" {
+			return fmt.Sprintf("!EXT$ REDISTRIBUTE %s USING %s", d.Array, strings.ToUpper(d.Partitioner))
+		}
+		return fmt.Sprintf("!EXT$ REDISTRIBUTE %s(%s)", d.Array, *d.Pat)
+	case Indivisable:
+		return fmt.Sprintf("!EXT$ INDIVISABLE %s(ATOM:%s) :: %s(%s:%s)",
+			d.Data, d.AtomVar, d.Indir, exprSrc(d.LoExpr), exprSrc(d.HiExpr))
+	case SparseMatrix:
+		return fmt.Sprintf("!HPF$ SPARSE_MATRIX (%s) :: %s(%s, %s, %s)",
+			strings.ToUpper(d.Format), d.Name, d.Arrays[0], d.Arrays[1], d.Arrays[2])
+	case Iteration:
+		out := fmt.Sprintf("!EXT$ ITERATION %s ON PROCESSOR(%s)", d.Var, exprSrc(d.MapExpr))
+		for _, cl := range d.Clauses {
+			out += ", " + clauseSrc(cl)
+		}
+		return out
+	}
+	return fmt.Sprintf("! unknown directive %T", d)
+}
+
+func clauseSrc(cl IterClause) string {
+	switch cl.Kind {
+	case "private":
+		out := fmt.Sprintf("PRIVATE(%s(%s))", cl.Array, exprSrc(cl.Size))
+		switch cl.Merge {
+		case "+":
+			out += " WITH MERGE(+)"
+		case "discard":
+			out += " WITH DISCARD"
+		}
+		return out
+	case "new":
+		return fmt.Sprintf("NEW(%s)", strings.Join(cl.Names, ", "))
+	}
+	return "! unknown clause"
+}
+
+func dimsSrc(dims []DimSpec) string {
+	if len(dims) == 0 {
+		return "(:)"
+	}
+	parts := make([]string, len(dims))
+	for i, d := range dims {
+		parts[i] = d.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// exprSrc strips the outermost parentheses Expr.String adds, to keep
+// the canonical form close to hand-written source.
+func exprSrc(e Expr) string {
+	s := e.String()
+	if len(s) >= 2 && s[0] == '(' && s[len(s)-1] == ')' {
+		// Only strip when the parens wrap the whole expression.
+		depth := 0
+		for i, c := range s {
+			switch c {
+			case '(':
+				depth++
+			case ')':
+				depth--
+				if depth == 0 && i != len(s)-1 {
+					return s
+				}
+			}
+		}
+		return s[1 : len(s)-1]
+	}
+	return s
+}

@@ -1,0 +1,74 @@
+package hpf
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Format must round-trip: reparsing the formatted program yields an
+// equivalent AST (modulo line numbers).
+func TestFormatRoundTrip(t *testing.T) {
+	sources := []string{
+		figure2,
+		sec521,
+		sec522,
+		iterationSrc,
+		"!EXT$ ITERATION i ON PROCESSOR(i - 1), PRIVATE(tmp(n)) WITH DISCARD, NEW(a, b)",
+		"!HPF$ ALIGN A(:, *) WITH p(:)",
+		"!HPF$ ALIGN row(ATOM:i) WITH col(i)",
+		"!HPF$ DISTRIBUTE v(CYCLIC(2*k + 1))",
+	}
+	for _, src := range sources {
+		orig := MustParse(src)
+		formatted := Format(orig)
+		back, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("formatted output does not reparse:\n%s\nerror: %v", formatted, err)
+		}
+		if len(back.Directives) != len(orig.Directives) {
+			t.Fatalf("round trip changed directive count %d -> %d:\n%s",
+				len(orig.Directives), len(back.Directives), formatted)
+		}
+		for i := range orig.Directives {
+			a := canonical(orig.Directives[i])
+			b := canonical(back.Directives[i])
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("directive %d changed:\n  orig: %#v\n  back: %#v\n  text: %s",
+					i, a, b, FormatDirective(orig.Directives[i]))
+			}
+		}
+	}
+}
+
+// canonical strips line numbers (they legitimately change) by
+// re-rendering; two directives are equivalent iff they format equally.
+func canonical(d Directive) string { return FormatDirective(d) }
+
+func TestFormatSpecificForms(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"!hpf$ processors :: procs(NP)", "!HPF$ PROCESSORS :: PROCS(np)"},
+		{"!HPF$ DISTRIBUTE p(BLOCK)", "!HPF$ DISTRIBUTE p(BLOCK)"},
+		{"!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)", "!HPF$ DYNAMIC, DISTRIBUTE row(BLOCK)"},
+		{"!HPF$ DISTRIBUTE row(CYCLIC((n+NP-1)/np))", "!HPF$ DISTRIBUTE row(CYCLIC(((n+np)-1)/np))"},
+		{"!EXT$ REDISTRIBUTE row(ATOM: BLOCK)", "!EXT$ REDISTRIBUTE row(ATOM: BLOCK)"},
+		{"!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1", "!EXT$ REDISTRIBUTE sma USING CG_BALANCED_PARTITIONER_1"},
+		{"!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)", "!EXT$ INDIVISABLE row(ATOM:i) :: col(i:i+1)"},
+		{"!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)", "!HPF$ SPARSE_MATRIX (CSR) :: sma(row, col, a)"},
+	}
+	for _, c := range cases {
+		prog := MustParse(c.src)
+		got := strings.TrimSpace(Format(prog))
+		if got != c.want {
+			t.Errorf("Format(%q) = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestFormatAlignExtras(t *testing.T) {
+	prog := MustParse("!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b")
+	got := strings.TrimSpace(Format(prog))
+	if got != "!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -1,0 +1,77 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the parser never panics and that every accepted
+// program re-binds without crashing when sizes are supplied for the
+// arrays it mentions. Run with `go test -fuzz=FuzzParse ./internal/hpf`
+// for real fuzzing; as a plain test it exercises the seed corpus.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		figure2,
+		sec521,
+		sec522,
+		iterationSrc,
+		"!HPF$ DISTRIBUTE p(BLOCK)",
+		"!HPF$ DISTRIBUTE p(CYCLIC(3))",
+		"!HPF$ ALIGN a(:) WITH b(:)",
+		"!EXT$ REDISTRIBUTE x(ATOM: BLOCK)",
+		"!EXT$ ITERATION i ON PROCESSOR(i), NEW(a, b)",
+		"!HPF$ PROCESSORS :: P((2+2)*4)",
+		"!HPF$ DISTRIBUTE p(BLOCK((n+np-1)/np))",
+		"!HPF$ SPARSE_MATRIX (CSC) :: m(x, y, z)",
+		"!hpf$ distribute lower(block)",
+		"$HPF$ DISTRIBUTE p(BLOCK)",
+		"!EXT$ ITERATION j ON PROCESSOR(j/np), &\n!EXT$ PRIVATE(q(n)) WITH DISCARD",
+		"!HPF$ DISTRIBUTE p(BLOCK) garbage",
+		"!HPF$ ALIGN (:) WITH p(:)",
+		"!HPF$ ",
+		"!HPF$ DISTRIBUTE p(BLOCK(1/0))",
+		strings.Repeat("!HPF$ DISTRIBUTE p(BLOCK)\n", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Formatter round trip: everything the parser accepts must
+		// format to something the parser accepts again, with the same
+		// directive count and identical canonical forms.
+		back, err := Parse(Format(prog))
+		if err != nil {
+			t.Fatalf("formatted output does not reparse: %v", err)
+		}
+		if len(back.Directives) != len(prog.Directives) {
+			t.Fatalf("format round trip changed directive count %d -> %d",
+				len(prog.Directives), len(back.Directives))
+		}
+		for i := range prog.Directives {
+			if FormatDirective(prog.Directives[i]) != FormatDirective(back.Directives[i]) {
+				t.Fatalf("directive %d not canonical under round trip", i)
+			}
+		}
+		// Accepted programs must bind (or fail cleanly) with generous
+		// sizes for any arrays mentioned.
+		sizes := map[string]int{}
+		for _, d := range prog.Directives {
+			switch d := d.(type) {
+			case Distribute:
+				sizes[d.Array] = 64
+			case Align:
+				sizes[d.Source] = 64
+				sizes[d.Target] = 64
+				for _, e := range d.Extra {
+					sizes[e] = 64
+				}
+			}
+		}
+		delete(sizes, "")
+		_, _ = Bind(prog, 4, sizes, map[string]int{"n": 64, "nz": 256})
+	})
+}

@@ -1,0 +1,159 @@
+// Package hpf implements the directive language the paper writes its
+// codes in: the HPF-1 mapping directives (PROCESSORS, DISTRIBUTE,
+// ALIGN, DYNAMIC, REDISTRIBUTE) plus the paper's proposed !EXT$
+// extensions (INDIVISABLE atoms, ATOM: distributions, SPARSE_MATRIX,
+// partitioner-based REDISTRIBUTE ... USING, and the ITERATION ... ON
+// PROCESSOR / PRIVATE / MERGE loop directive of §5.1).
+//
+// The package parses directive text into an AST (Parse), evaluates the
+// block-size expressions such as (n+NP-1)/NP against an environment
+// (Expr.Eval), and binds a parsed program to concrete distribution
+// descriptors for given array sizes (Bind) — the role the HPF compiler
+// plays for the codes in Figures 2-5.
+package hpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// isLetter reports an ASCII letter (Fortran identifiers are ASCII).
+func isLetter(c byte) bool { return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') }
+
+// isDigit reports an ASCII digit.
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+// tokKind enumerates lexical token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokColon
+	tokDoubleColon
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of line"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "("
+	case tokRParen:
+		return ")"
+	case tokComma:
+		return ","
+	case tokColon:
+		return ":"
+	case tokDoubleColon:
+		return "::"
+	case tokPlus:
+		return "+"
+	case tokMinus:
+		return "-"
+	case tokStar:
+		return "*"
+	case tokSlash:
+		return "/"
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+// lex splits one logical directive line (prefix already removed) into
+// tokens. Fortran is case-insensitive; identifiers are lowered.
+func lex(s string, line int) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '(':
+			toks = append(toks, token{tokLParen, "(", i})
+			i++
+		case c == ')':
+			toks = append(toks, token{tokRParen, ")", i})
+			i++
+		case c == ',':
+			toks = append(toks, token{tokComma, ",", i})
+			i++
+		case c == ':':
+			if i+1 < len(s) && s[i+1] == ':' {
+				toks = append(toks, token{tokDoubleColon, "::", i})
+				i += 2
+			} else {
+				toks = append(toks, token{tokColon, ":", i})
+				i++
+			}
+		case c == '+':
+			toks = append(toks, token{tokPlus, "+", i})
+			i++
+		case c == '-':
+			toks = append(toks, token{tokMinus, "-", i})
+			i++
+		case c == '*':
+			toks = append(toks, token{tokStar, "*", i})
+			i++
+		case c == '/':
+			toks = append(toks, token{tokSlash, "/", i})
+			i++
+		case isDigit(c):
+			j := i
+			for j < len(s) && isDigit(s[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, s[i:j], i})
+			i = j
+		case isLetter(c) || c == '_':
+			// Fortran identifiers are ASCII; rejecting non-ASCII bytes
+			// here keeps lexing byte-oriented and round-trip safe.
+			j := i
+			for j < len(s) && (isLetter(s[j]) || isDigit(s[j]) || s[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{tokIdent, strings.ToLower(s[i:j]), i})
+			i = j
+		default:
+			return nil, fmt.Errorf("hpf: line %d: unexpected character %q at column %d", line, c, i+1)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(s)})
+	return toks, nil
+}
+
+// directivePrefixes are accepted sentinel forms; the paper mixes !HPF$,
+// $HPF$ and !EXT$ (we also take !hpf$ etc. case-insensitively).
+var directivePrefixes = []string{"!hpf$", "$hpf$", "!ext$", "$ext$"}
+
+// splitDirective checks whether a source line is a directive line and
+// returns (prefix, body, true) if so. Non-directive lines (Fortran
+// statements, blank lines, plain comments) return ok=false.
+func splitDirective(line string) (prefix, body string, ok bool) {
+	t := strings.TrimSpace(line)
+	lower := strings.ToLower(t)
+	for _, p := range directivePrefixes {
+		if strings.HasPrefix(lower, p) {
+			return p, strings.TrimSpace(t[len(p):]), true
+		}
+	}
+	return "", "", false
+}

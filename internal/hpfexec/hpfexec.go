@@ -1,0 +1,227 @@
+// Package hpfexec plays the role of the HPF compiler's code generator
+// for the paper's CG codes: given a *bound* directive plan
+// (internal/hpf) and the runtime sparse matrix, it selects the
+// execution strategy the directives imply and runs the distributed
+// conjugate gradient solve.
+//
+// The mapping from directives to execution follows the paper:
+//
+//   - `SPARSE_MATRIX (CSR)` selects Scenario 1 (row-block, allgather);
+//   - `SPARSE_MATRIX (CSC)` selects Scenario 2 (column-block). Without
+//     further directives HPF-1 semantics force the serialized execution;
+//     an `ITERATION ... PRIVATE(q(n)) WITH MERGE(+)` directive (§5.1)
+//     switches it to the parallel private-merge execution;
+//   - `REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1` (§5.2.2)
+//     replaces the vectors' BLOCK distribution with the balanced
+//     whole-row (atom) distribution before solving.
+package hpfexec
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/hpf"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+)
+
+// Strategy describes the execution the directives selected.
+type Strategy struct {
+	Scenario string // "row-block CSR" or "col-block CSC"
+	Mode     string // "local", "serialized" or "private-merge"
+	Balanced bool   // partitioner-redistributed
+}
+
+// String renders the strategy for logs.
+func (s Strategy) String() string {
+	out := s.Scenario + " / " + s.Mode
+	if s.Balanced {
+		out += " / balanced"
+	}
+	return out
+}
+
+// Result is a completed directive-driven solve.
+type Result struct {
+	X        []float64
+	Stats    core.Stats
+	Run      comm.RunStats
+	Strategy Strategy
+}
+
+// SolveCG executes the CG of the paper's Figure 2 under the bound
+// plan. A is the runtime matrix (CSR form; converted as the declared
+// storage format requires), b the right-hand side.
+func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (*Result, error) {
+	if A.NRows != A.NCols {
+		return nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
+	}
+	n := A.NRows
+	if len(b) != n {
+		return nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), n)
+	}
+	if plan.NP != m.NP() {
+		return nil, fmt.Errorf("hpfexec: plan bound for %d processors, machine has %d", plan.NP, m.NP())
+	}
+	if len(plan.Sparse) != 1 {
+		return nil, fmt.Errorf("hpfexec: need exactly one SPARSE_MATRIX declaration, have %d", len(plan.Sparse))
+	}
+	var sm hpf.SparseMatrix
+	var smName string
+	for name, d := range plan.Sparse {
+		smName, sm = name, d
+	}
+
+	// The vector distribution: the ultimate alignment target among the
+	// n-sized arrays (the paper's p), or any directly distributed
+	// n-sized array.
+	vecPlan, err := vectorRoot(plan, n)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := vecPlan.Dist.(dist.Contiguous)
+	if !ok {
+		return nil, fmt.Errorf("hpfexec: vector distribution %s is not contiguous; the mat-vec scenarios need BLOCK-like mappings", vecPlan.Dist.Name())
+	}
+
+	strategy := Strategy{}
+
+	// The §5.2.2 partitioner redistribution, if declared: rebalance the
+	// rows (CSR) or columns (CSC) and align the vectors with the atoms.
+	if _, declared := plan.Partitioners[smName]; declared {
+		ptr := A.RowPtr
+		if sm.Format == "csc" {
+			ptr = A.ToCSC().ColPtr
+		}
+		_, atomCuts, err := plan.BindPartitioner(smName, ptr)
+		if err != nil {
+			return nil, err
+		}
+		d = dist.NewIrregular(atomCuts)
+		strategy.Balanced = true
+	}
+
+	// The §5.1 extension: any ITERATION clause PRIVATE ... WITH MERGE(+)
+	// unlocks the parallel execution of the CSC accumulation.
+	hasMerge := false
+	for _, it := range plan.Iterations {
+		for _, cl := range it.Clauses {
+			if cl.Kind == "private" && cl.Merge == "+" {
+				hasMerge = true
+			}
+		}
+	}
+
+	var csc *sparse.CSC
+	switch sm.Format {
+	case "csr":
+		strategy.Scenario = "row-block CSR"
+		// The executor choice (broadcast vs ghost halo) is made inside
+		// the SPMD region, where the inspector can measure the halo.
+		strategy.Mode = "local"
+	case "csc":
+		strategy.Scenario = "col-block CSC"
+		csc = A.ToCSC()
+		if hasMerge {
+			strategy.Mode = "private-merge"
+		} else {
+			strategy.Mode = "serialized"
+		}
+	default:
+		return nil, fmt.Errorf("hpfexec: unsupported sparse format %q", sm.Format)
+	}
+
+	res := &Result{Strategy: strategy}
+	var solveErr error
+	var ghostChosen bool
+	run := m.Run(func(p *comm.Proc) {
+		var op spmv.Operator
+		switch sm.Format {
+		case "csr":
+			// Inspector-based executor selection: build the ghost
+			// schedule once; if the largest halo stays below a quarter of
+			// the vector, the halo exchange beats the broadcast (E14/E15),
+			// otherwise fall back to the allgather operator. The decision
+			// is collective so all processors take the same branch.
+			ghostOp := spmv.NewRowBlockCSRGhost(p, A, d)
+			maxGhosts := p.AllreduceScalar(float64(ghostOp.NGhosts()), comm.OpMax)
+			if maxGhosts <= 0.25*float64(A.NRows) {
+				op = ghostOp
+				if p.Rank() == 0 {
+					ghostChosen = true
+				}
+			} else {
+				op = spmv.NewRowBlockCSR(p, A, d)
+			}
+		case "csc":
+			mode := spmv.ModeSerialized
+			if hasMerge {
+				mode = spmv.ModePrivateMerge
+			}
+			op = spmv.NewColBlockCSC(p, csc, d, mode)
+		}
+		bv := darray.New(p, d)
+		xv := darray.New(p, d)
+		bv.SetGlobal(func(g int) float64 { return b[g] })
+		st, err := core.CG(p, op, bv, xv, opt)
+		if err != nil {
+			if p.Rank() == 0 {
+				solveErr = err
+			}
+			return
+		}
+		full := xv.Gather()
+		if p.Rank() == 0 {
+			res.X = full
+			res.Stats = st
+		}
+	})
+	if solveErr != nil {
+		return nil, solveErr
+	}
+	if sm.Format == "csr" {
+		if ghostChosen {
+			res.Strategy.Mode = "local(ghost)"
+		} else {
+			res.Strategy.Mode = "local(broadcast)"
+		}
+	}
+	res.Run = run
+	return res, nil
+}
+
+// vectorRoot finds the array plan that plays the role of p in
+// Figure 2: an n-sized array that others align to, falling back to any
+// directly distributed n-sized array.
+func vectorRoot(plan *hpf.Plan, n int) (*hpf.ArrayPlan, error) {
+	targets := map[string]bool{}
+	names := make([]string, 0, len(plan.Arrays))
+	for name, a := range plan.Arrays {
+		names = append(names, name)
+		if a.AlignedTo != "" {
+			targets[a.AlignedTo] = true
+		}
+	}
+	sort.Strings(names) // deterministic fallback choice
+	var fallback *hpf.ArrayPlan
+	for _, name := range names {
+		a := plan.Arrays[name]
+		if a.Size != n || a.AlignedTo != "" {
+			continue
+		}
+		if targets[name] {
+			return a, nil
+		}
+		if fallback == nil {
+			fallback = a
+		}
+	}
+	if fallback != nil {
+		return fallback, nil
+	}
+	return nil, fmt.Errorf("hpfexec: no distributed array of the vector size %d in the plan", n)
+}

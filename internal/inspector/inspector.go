@@ -1,0 +1,168 @@
+// Package inspector implements the inspector-executor mechanism the
+// paper invokes for irregular accesses (§5.1, refs [15], [19], [20]):
+// a one-time *inspector* pass analyses which remote array elements an
+// indirect access pattern touches and builds a communication schedule;
+// the *executor* then reuses that schedule every iteration, exchanging
+// only the needed "ghost" elements instead of broadcasting the whole
+// vector.
+//
+// For the row-block sparse matrix-vector product this is the
+// alternative to Scenario 1's all-to-all broadcast: processor r needs
+// x(col(k)) only for the column indices appearing in its rows, which
+// for banded and mesh matrices is a thin halo. The paper notes
+// inspectors are "costly in nature" — the cost is paid once here and
+// amortised by schedule reuse across CG iterations ("communication
+// schedule reuse", ref [20]); experiment E14 quantifies both sides.
+package inspector
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/dist"
+)
+
+// Schedule is a reusable communication plan for gathering a set of
+// remote elements of a distributed vector.
+type Schedule struct {
+	p *comm.Proc
+	d dist.Dist
+
+	// ghostOf maps a needed remote global index to its slot in the
+	// ghost buffer (dense positions 0..nGhost-1, sorted by global).
+	ghostOf map[int]int
+	// recvFrom[src] lists how many ghosts arrive from src (they arrive
+	// sorted by global index and are stored contiguously).
+	recvCount []int
+	recvStart []int
+	// sendTo[dst] lists the local offsets this processor must send to
+	// dst, in the order dst expects them.
+	sendTo [][]int
+
+	nGhost int
+}
+
+// Build runs the inspector: needs lists the global indices the caller
+// will read (duplicates allowed, own elements ignored), d is the
+// vector's distribution. Build is collective — every processor must
+// call it, with its own needs.
+func Build(p *comm.Proc, d dist.Dist, needs []int) *Schedule {
+	np := p.NP()
+	r := p.Rank()
+
+	// Unique, sorted remote indices.
+	uniq := make(map[int]bool)
+	for _, g := range needs {
+		if g < 0 || g >= d.N() {
+			panic(fmt.Sprintf("inspector: needed index %d outside [0,%d)", g, d.N()))
+		}
+		if d.Owner(g) != r {
+			uniq[g] = true
+		}
+	}
+	remote := make([]int, 0, len(uniq))
+	for g := range uniq {
+		remote = append(remote, g)
+	}
+	sort.Ints(remote)
+
+	s := &Schedule{
+		p:         p,
+		d:         d,
+		ghostOf:   make(map[int]int, len(remote)),
+		recvCount: make([]int, np),
+		recvStart: make([]int, np+1),
+		sendTo:    make([][]int, np),
+		nGhost:    len(remote),
+	}
+
+	// Group requests by owner; remote is sorted so each owner's request
+	// list is sorted too, and ghost slots are assigned in global order
+	// grouped by owner (which is the order values will arrive).
+	requests := make([][]int, np)
+	for _, g := range remote {
+		requests[d.Owner(g)] = append(requests[d.Owner(g)], g)
+	}
+	slot := 0
+	for src := 0; src < np; src++ {
+		s.recvStart[src] = slot
+		for _, g := range requests[src] {
+			s.ghostOf[g] = slot
+			slot++
+		}
+		s.recvCount[src] = len(requests[src])
+	}
+	s.recvStart[np] = slot
+
+	// The request exchange: each owner learns which of its elements
+	// every other processor wants, translated to local offsets.
+	wanted := p.AlltoallVInts(requests)
+	for dst := 0; dst < np; dst++ {
+		if dst == r {
+			continue
+		}
+		offs := make([]int, len(wanted[dst]))
+		for i, g := range wanted[dst] {
+			owner, off := d.Local(g)
+			if owner != r {
+				panic(fmt.Sprintf("inspector: rank %d asked rank %d for element %d owned by %d", dst, r, g, owner))
+			}
+			offs[i] = off
+		}
+		s.sendTo[dst] = offs
+	}
+	return s
+}
+
+// NGhosts returns how many remote elements the schedule fetches.
+func (s *Schedule) NGhosts() int { return s.nGhost }
+
+// GhostSlot returns the ghost-buffer slot of a remote global index,
+// panicking if the index was not declared to Build.
+func (s *Schedule) GhostSlot(g int) int {
+	slot, ok := s.ghostOf[g]
+	if !ok {
+		panic(fmt.Sprintf("inspector: index %d not in schedule", g))
+	}
+	return slot
+}
+
+// tagGhost is the point-to-point tag of executor traffic. Messages
+// between a pair are FIFO, so repeated Exchanges stay matched.
+const tagGhost = 201
+
+// Exchange runs the executor: given the local block of the distributed
+// vector, it sends the locally-owned elements other processors need
+// and returns the ghost buffer with the remote elements this processor
+// needs (indexed by GhostSlot). Unlike the Scenario 1 broadcast, only
+// processor pairs that actually share halo elements exchange messages.
+// Collective (in the sense that every processor must call it);
+// reusable any number of times — the schedule-reuse of ref [20].
+func (s *Schedule) Exchange(local []float64) []float64 {
+	np := s.p.NP()
+	r := s.p.Rank()
+	for dst, offs := range s.sendTo {
+		if len(offs) == 0 {
+			continue
+		}
+		buf := make([]float64, len(offs))
+		for i, off := range offs {
+			buf[i] = local[off]
+		}
+		s.p.SendFloats(dst, tagGhost, buf)
+	}
+	ghosts := make([]float64, s.nGhost)
+	for off := 1; off < np; off++ {
+		src := (r - off + np) % np
+		if s.recvCount[src] == 0 {
+			continue
+		}
+		part := s.p.RecvFloats(src, tagGhost)
+		if len(part) != s.recvCount[src] {
+			panic(fmt.Sprintf("inspector: expected %d ghosts from %d, got %d", s.recvCount[src], src, len(part)))
+		}
+		copy(ghosts[s.recvStart[src]:s.recvStart[src+1]], part)
+	}
+	return ghosts
+}

@@ -1,0 +1,96 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+)
+
+// AtomCyclic is the element-level distribution induced by dealing
+// atoms round-robin to processors — the paper's proposed
+// `REDISTRIBUTE row(ATOM: CYCLIC)` (§5.2.1: "We could use an
+// (ATOM: CYCLIC) distribution in a similar way"). Atom i goes to
+// processor i mod NP with all its elements; the element index sets are
+// therefore non-contiguous, but atoms are never split.
+//
+// It implements dist.Dist (not dist.Contiguous), so it composes with
+// the vector layer's gather/scatter but not with the strip-based
+// mat-vec operators — matching HPF, where a CYCLIC matrix distribution
+// also forces a different compilation strategy.
+type AtomCyclic struct {
+	bounds []int // atom boundaries (len nAtoms+1)
+	np     int
+	// starts[r][k] is the local offset at which atom (k*np + r) begins
+	// on processor r; starts[r] has one extra entry holding Count(r).
+	starts [][]int
+	// atomsOf[r] lists the atom ids owned by r, ascending.
+	atomsOf [][]int
+}
+
+// NewAtomCyclic builds the distribution from atoms over np processors.
+func NewAtomCyclic(a Atoms, np int) AtomCyclic {
+	if np < 1 {
+		panic(fmt.Sprintf("partition: np=%d", np))
+	}
+	ac := AtomCyclic{
+		bounds:  append([]int(nil), a.Bounds...),
+		np:      np,
+		starts:  make([][]int, np),
+		atomsOf: make([][]int, np),
+	}
+	for r := 0; r < np; r++ {
+		off := 0
+		for atom := r; atom < a.NAtoms(); atom += np {
+			ac.starts[r] = append(ac.starts[r], off)
+			ac.atomsOf[r] = append(ac.atomsOf[r], atom)
+			off += a.Weight(atom)
+		}
+		ac.starts[r] = append(ac.starts[r], off)
+	}
+	return ac
+}
+
+// N implements dist.Dist.
+func (ac AtomCyclic) N() int { return ac.bounds[len(ac.bounds)-1] }
+
+// NP implements dist.Dist.
+func (ac AtomCyclic) NP() int { return ac.np }
+
+// Name implements dist.Dist.
+func (ac AtomCyclic) Name() string { return "ATOM:CYCLIC" }
+
+// atomOf returns the atom containing element g.
+func (ac AtomCyclic) atomOf(g int) int {
+	if g < 0 || g >= ac.N() {
+		panic(fmt.Sprintf("dist: index %d out of range [0,%d)", g, ac.N()))
+	}
+	// bounds is nondecreasing; find the last bound <= g among atom
+	// starts (skip empty atoms by taking the rightmost).
+	atom := sort.Search(len(ac.bounds)-1, func(i int) bool { return ac.bounds[i+1] > g })
+	return atom
+}
+
+// Owner implements dist.Dist.
+func (ac AtomCyclic) Owner(g int) int { return ac.atomOf(g) % ac.np }
+
+// Local implements dist.Dist.
+func (ac AtomCyclic) Local(g int) (int, int) {
+	atom := ac.atomOf(g)
+	r := atom % ac.np
+	k := atom / ac.np
+	return r, ac.starts[r][k] + (g - ac.bounds[atom])
+}
+
+// Global implements dist.Dist.
+func (ac AtomCyclic) Global(proc, off int) int {
+	s := ac.starts[proc]
+	// Find the owned-atom slot k with starts[k] <= off < starts[k+1].
+	k := sort.Search(len(s)-1, func(i int) bool { return s[i+1] > off })
+	atom := ac.atomsOf[proc][k]
+	return ac.bounds[atom] + (off - s[k])
+}
+
+// Count implements dist.Dist.
+func (ac AtomCyclic) Count(proc int) int {
+	s := ac.starts[proc]
+	return s[len(s)-1]
+}

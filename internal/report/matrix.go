@@ -1,0 +1,40 @@
+package report
+
+import "fmt"
+
+// BytesMatrixTable renders a communication matrix (bytes[src][dst]) as
+// a Table — the standard way to eyeball whether a run's traffic is a
+// broadcast (dense matrix), a halo exchange (near-diagonal band) or a
+// serial pipeline (single sub-diagonal).
+func BytesMatrixTable(title string, bytes [][]int64) *Table {
+	np := len(bytes)
+	t := &Table{Title: title, Header: make([]string, np+1)}
+	t.Header[0] = "src\\dst"
+	for d := 0; d < np; d++ {
+		t.Header[d+1] = fmt.Sprintf("%d", d)
+	}
+	for s := 0; s < np; s++ {
+		row := make([]string, np+1)
+		row[0] = fmt.Sprintf("%d", s)
+		for d := 0; d < np; d++ {
+			row[d+1] = humanBytes(bytes[s][d])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// humanBytes formats a byte count compactly (0 prints as "." to keep
+// sparse matrices readable).
+func humanBytes(b int64) string {
+	switch {
+	case b == 0:
+		return "."
+	case b < 10*1024:
+		return fmt.Sprintf("%d", b)
+	case b < 10*1024*1024:
+		return fmt.Sprintf("%dK", b/1024)
+	default:
+		return fmt.Sprintf("%dM", b/(1024*1024))
+	}
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := &Table{
+		ID:     "E1",
+		Title:  "demo",
+		Header: []string{"np", "time", "name"},
+		Notes:  []string{"a note"},
+	}
+	t.AddRow("1", "0.5", "x")
+	t.AddRowf(16, 0.125, "longer-name")
+	return t
+}
+
+func TestRenderAligned(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"== E1: demo ==", "np", "longer-name", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(out, "\n")
+	// Header and data rows must align: "name" column starts at the same
+	// byte offset in header and rows.
+	hdr, row := lines[1], lines[4]
+	if strings.Index(hdr, "name") != strings.Index(row, "longer-name") {
+		t.Errorf("columns misaligned:\n%s\n%s", hdr, row)
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "np,time,name\n") {
+		t.Errorf("csv header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "16,0.125,longer-name") {
+		t.Errorf("csv row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "# a note") {
+		t.Errorf("csv note missing:\n%s", out)
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	tab := &Table{Header: []string{"a"}, Rows: [][]string{{`va"l,ue`}}}
+	var buf bytes.Buffer
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"va""l,ue"`) {
+		t.Errorf("escaping wrong: %s", buf.String())
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := &Table{Header: []string{"only"}}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "only") {
+		t.Error("header missing")
+	}
+}
+
+func TestBytesMatrixTable(t *testing.T) {
+	m := [][]int64{
+		{0, 512, 0},
+		{20480, 0, 3},
+		{0, 20 * 1024 * 1024, 0},
+	}
+	tab := BytesMatrixTable("traffic", m)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"src\\dst", "512", "20K", "20M", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("matrix table missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 3 || len(tab.Rows[0]) != 4 {
+		t.Errorf("matrix table shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+}

@@ -1,0 +1,83 @@
+package seq
+
+import (
+	"fmt"
+
+	"hpfcg/internal/sparse"
+)
+
+// Chebyshev runs the Chebyshev semi-iteration for SPD systems whose
+// spectrum lies in [eigMin, eigMax]. Its significance for the paper's
+// §4 analysis: the method needs *no inner products* in its recurrence —
+// only the matrix product and SAXPYs — so on a distributed machine it
+// avoids the t_s·log NP merge that every CG iteration pays twice. The
+// price is needing the spectral bounds in advance (here typically
+// supplied by a short CG run with Options.EstimateSpectrum) and a
+// convergence test that is only evaluated every checkEvery iterations
+// (each test is one norm = one allreduce). Experiment E17 measures the
+// trade.
+func Chebyshev(A *sparse.CSR, b, x []float64, eigMin, eigMax float64, opt Options) (Stats, error) {
+	checkSystem(A, b, x)
+	if !(eigMin > 0) || !(eigMax >= eigMin) {
+		return Stats{}, fmt.Errorf("seq: Chebyshev needs 0 < eigMin <= eigMax, got [%g, %g]", eigMin, eigMax)
+	}
+	n := A.NRows
+	opt = opt.withDefaults(n)
+	var st Stats
+	c := counters{&st}
+
+	r := c.newVec(n)
+	rn, bn := residual0(c, A, b, x, r)
+	if bn == 0 {
+		bn = 1
+	}
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+
+	d := (eigMax + eigMin) / 2  // center
+	cc := (eigMax - eigMin) / 2 // radius
+	p := c.newVec(n)
+	q := c.newVec(n)
+	var alpha, beta float64
+	const checkEvery = 10
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		switch {
+		case k == 1:
+			copy(p, r)
+			st.AXPYs++
+			alpha = 1 / d
+		case k == 2:
+			beta = (cc * alpha / 2) * (cc * alpha / 2)
+			alpha = 1 / (d - beta/alpha)
+			c.aypx(p, beta, r)
+		default:
+			beta = (cc * alpha / 2) * (cc * alpha / 2)
+			alpha = 1 / (d - beta/alpha)
+			c.aypx(p, beta, r)
+		}
+		c.axpy(x, alpha, p)
+		c.matvec(A, p, q)
+		c.axpy(r, -alpha, q)
+		if k%checkEvery == 0 || k == opt.MaxIter {
+			rn = c.norm(r)
+			rel := rn / bn
+			c.record(rel, opt)
+			if rel <= opt.Tol {
+				st.Converged = true
+				st.Residual = rel
+				return st, nil
+			}
+		}
+	}
+	rn = c.norm(r)
+	st.Residual = rn / bn
+	if st.Residual <= opt.Tol {
+		st.Converged = true
+	}
+	return st, nil
+}

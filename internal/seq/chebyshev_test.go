@@ -1,0 +1,85 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/sparse"
+)
+
+func TestChebyshevSolvesWithExactBounds(t *testing.T) {
+	n := 60
+	A := sparse.Laplace1D(n)
+	eigMin := 2 - 2*math.Cos(math.Pi/float64(n+1))
+	eigMax := 2 - 2*math.Cos(float64(n)*math.Pi/float64(n+1))
+	b := sparse.RandomVector(n, 2)
+	x := make([]float64, n)
+	st, err := Chebyshev(A, b, x, eigMin, eigMax, Options{Tol: 1e-9, MaxIter: 20 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %v", st)
+	}
+	if rr := relResidual(A, x, b); rr > 1e-7 {
+		t.Errorf("residual %g", rr)
+	}
+}
+
+// The pipeline the package intends: a short CG probe estimates the
+// spectrum, Chebyshev finishes the job with almost no inner products.
+func TestChebyshevWithCGEstimatedBounds(t *testing.T) {
+	A := sparse.RandomSPD(80, 5, 12)
+	b := sparse.RandomVector(80, 4)
+	probeX := make([]float64, 80)
+	probe, err := CG(A, b, probeX, Options{MaxIter: 15, Tol: 1e-30, EstimateSpectrum: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if probe.Spectrum == nil {
+		t.Fatal("no spectrum from probe")
+	}
+	// Ritz intervals underestimate the true spectrum; widen safely.
+	lo := probe.Spectrum.EigMin * 0.5
+	hi := probe.Spectrum.EigMax * 1.1
+	x := make([]float64, 80)
+	st, err := Chebyshev(A, b, x, lo, hi, Options{Tol: 1e-9, MaxIter: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %v", st)
+	}
+	if rr := relResidual(A, x, b); rr > 1e-7 {
+		t.Errorf("residual %g", rr)
+	}
+	// The point: inner products only at the periodic checks.
+	dotsPerIter := float64(st.DotProducts) / float64(st.Iterations)
+	if dotsPerIter > 0.25 {
+		t.Errorf("Chebyshev used %.2f dots/iteration, want ~0.1", dotsPerIter)
+	}
+}
+
+func TestChebyshevValidation(t *testing.T) {
+	A := sparse.Laplace1D(8)
+	b := sparse.Ones(8)
+	x := make([]float64, 8)
+	if _, err := Chebyshev(A, b, x, 0, 4, Options{}); err == nil {
+		t.Error("eigMin=0 accepted")
+	}
+	if _, err := Chebyshev(A, b, x, 3, 2, Options{}); err == nil {
+		t.Error("eigMin > eigMax accepted")
+	}
+}
+
+func TestChebyshevZeroRHS(t *testing.T) {
+	A := sparse.Laplace1D(8)
+	x := make([]float64, 8)
+	st, err := Chebyshev(A, make([]float64, 8), x, 0.1, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged || st.Iterations != 0 {
+		t.Errorf("zero rhs: %v", st)
+	}
+}

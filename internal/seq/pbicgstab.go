@@ -1,0 +1,102 @@
+package seq
+
+import (
+	"fmt"
+
+	"hpfcg/internal/sparse"
+)
+
+// PBiCGSTAB is the right-preconditioned stabilized BiCG method — the
+// paper notes a preconditioner "can be added to any of the algorithms
+// described above" while preserving the computational structure; this
+// adds two preconditioner solves per iteration to BiCGSTAB's two
+// matrix products and four inner products.
+func PBiCGSTAB(A *sparse.CSR, M Preconditioner, b, x []float64, opt Options) (Stats, error) {
+	checkSystem(A, b, x)
+	n := A.NRows
+	opt = opt.withDefaults(n)
+	var st Stats
+	c := counters{&st}
+
+	r := c.newVec(n)
+	rn, bn := residual0(c, A, b, x, r)
+	if bn == 0 {
+		bn = 1
+	}
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	rt := c.newVec(n)
+	copy(rt, r)
+	p := c.newVec(n)
+	ph := c.newVec(n) // M^{-1} p
+	v := c.newVec(n)
+	s := c.newVec(n)
+	sh := c.newVec(n) // M^{-1} s
+	t := c.newVec(n)
+	copy(p, r)
+	rho := c.dot(rt, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		M.Apply(p, ph)
+		c.matvec(A, ph, v)
+		rtv := c.dot(rt, v)
+		if rtv == 0 {
+			return st, fmt.Errorf("%w: r̃·Ap̂ = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / rtv
+		st.AXPYs++
+		for i := range s {
+			s[i] = r[i] - alpha*v[i]
+		}
+		M.Apply(s, sh)
+		c.matvec(A, sh, t)
+		tt := c.dot(t, t)
+		var omega float64
+		if tt != 0 {
+			omega = c.dot(t, s) / tt
+		}
+		if omega == 0 {
+			c.axpy(x, alpha, ph)
+			copy(r, s)
+			rn = c.norm(r)
+			rel := rn / bn
+			c.record(rel, opt)
+			if rel <= opt.Tol {
+				st.Converged = true
+				st.Residual = rel
+				return st, nil
+			}
+			return st, fmt.Errorf("%w: omega = 0 at iteration %d", ErrBreakdown, k)
+		}
+		c.axpy(x, alpha, ph)
+		c.axpy(x, omega, sh)
+		st.AXPYs++
+		for i := range r {
+			r[i] = s[i] - omega*t[i]
+		}
+		rn = c.norm(r)
+		rel := rn / bn
+		c.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = c.dot(rt, r)
+		if rho == 0 || rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := (rho / rho0) * (alpha / omega)
+		st.AXPYs += 2
+		for i := range p {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+	}
+	st.Residual = rn / bn
+	return st, nil
+}

@@ -1,0 +1,112 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/sparse"
+)
+
+func TestPBiCGSTABIdentityMatchesBiCGSTAB(t *testing.T) {
+	A := sparse.RandomSPD(40, 5, 6)
+	b := sparse.RandomVector(40, 2)
+	x1 := make([]float64, 40)
+	x2 := make([]float64, 40)
+	st1, err1 := BiCGSTAB(A, b, x1, Options{Tol: 1e-10})
+	st2, err2 := PBiCGSTAB(A, Identity{}, b, x2, Options{Tol: 1e-10})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if st1.Iterations != st2.Iterations {
+		t.Errorf("iterations differ: %d vs %d", st1.Iterations, st2.Iterations)
+	}
+	for i := range x1 {
+		if math.Abs(x1[i]-x2[i]) > 1e-8 {
+			t.Fatalf("solutions differ at %d: %g vs %g", i, x1[i], x2[i])
+		}
+	}
+}
+
+func TestPBiCGSTABSolvesNonsymmetric(t *testing.T) {
+	n := 50
+	coo := sparse.NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 5)
+		if i+1 < n {
+			coo.Add(i, i+1, -2)
+			coo.Add(i+1, i, -0.5)
+		}
+	}
+	A := coo.ToCSR()
+	b := sparse.RandomVector(n, 3)
+	for _, pname := range []string{"jacobi", "ssor"} {
+		M, err := ByName(pname, A)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]float64, n)
+		st, err := PBiCGSTAB(A, M, b, x, Options{Tol: 1e-10})
+		if err != nil {
+			t.Fatalf("%s: %v", pname, err)
+		}
+		if !st.Converged {
+			t.Fatalf("%s: not converged: %v", pname, st)
+		}
+		if rr := relResidual(A, x, b); rr > 1e-7 {
+			t.Errorf("%s: residual %g", pname, rr)
+		}
+	}
+}
+
+func TestPBiCGSTABPreconditioningHelps(t *testing.T) {
+	// Ill-conditioned diagonal scaling: Jacobi must cut iterations.
+	n := 120
+	eigs := make([]float64, n)
+	for i := range eigs {
+		eigs[i] = 1 + float64(i*i)/4
+	}
+	A := sparse.DiagWithEigenvalues(eigs)
+	b := sparse.Ones(n)
+	xp := make([]float64, n)
+	stPlain, err := BiCGSTAB(A, b, xp, Options{Tol: 1e-10, MaxIter: 10 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	M, err := NewJacobi(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xj := make([]float64, n)
+	stJac, err := PBiCGSTAB(A, M, b, xj, Options{Tol: 1e-10, MaxIter: 10 * n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stJac.Converged {
+		t.Fatalf("preconditioned run did not converge: %v", stJac)
+	}
+	if stJac.Iterations >= stPlain.Iterations {
+		t.Errorf("PBiCGSTAB(jacobi) %d iterations >= plain %d", stJac.Iterations, stPlain.Iterations)
+	}
+}
+
+func TestPBiCGSTABStructure(t *testing.T) {
+	A := sparse.Laplace2D(8, 8)
+	b := sparse.Ones(A.NRows)
+	M, err := NewJacobi(A)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, A.NRows)
+	st, err := PBiCGSTAB(A, M, b, x, Options{Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two forward products per iteration, no transpose.
+	perIt := float64(st.MatVecs-1) / float64(st.Iterations)
+	if math.Abs(perIt-2) > 0.01 {
+		t.Errorf("matvecs/iter = %g, want 2", perIt)
+	}
+	if st.TransMatVecs != 0 {
+		t.Errorf("used %d transpose products", st.TransMatVecs)
+	}
+}

@@ -1,0 +1,203 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file adds the structure-exploiting storage schemes §3 alludes to
+// ("some of which can exploit additional information about the sparsity
+// structure of the matrix"): ELLPACK for matrices whose rows have
+// (nearly) the same number of nonzeros — exactly the "regular
+// (uniform)" case of §5.2.1 — and the diagonal format (DIA) for banded
+// matrices. Both trade generality for contiguous, branch-light inner
+// loops.
+
+// ELL is the ELLPACK/ITPACK format: every row stores exactly Width
+// entries (shorter rows are padded with a zero value and a repeated
+// column index), laid out column-major so the mat-vec inner loop is a
+// stride-NRows stream.
+type ELL struct {
+	NRows, NCols int
+	Width        int
+	Col          []int     // len NRows*Width, Col[j*NRows+i] = column of row i's j-th entry
+	Val          []float64 // same layout
+}
+
+// ToELL converts a CSR matrix. maxWidth bounds the acceptable row
+// width (0 = no bound); conversion fails if some row is longer, which
+// signals the matrix is not uniform enough for ELLPACK (use CSR).
+func (m *CSR) ToELL(maxWidth int) (*ELL, error) {
+	width := 0
+	for i := 0; i < m.NRows; i++ {
+		if w := m.RowPtr[i+1] - m.RowPtr[i]; w > width {
+			width = w
+		}
+	}
+	if maxWidth > 0 && width > maxWidth {
+		return nil, fmt.Errorf("sparse: ELL width %d exceeds bound %d (matrix too irregular)", width, maxWidth)
+	}
+	e := &ELL{
+		NRows: m.NRows,
+		NCols: m.NCols,
+		Width: width,
+		Col:   make([]int, m.NRows*width),
+		Val:   make([]float64, m.NRows*width),
+	}
+	for i := 0; i < m.NRows; i++ {
+		cols, vals := m.Row(i)
+		pad := 0
+		if len(cols) > 0 {
+			pad = cols[0] // repeat a real column index for padding
+		}
+		for j := 0; j < width; j++ {
+			idx := j*m.NRows + i
+			if j < len(cols) {
+				e.Col[idx] = cols[j]
+				e.Val[idx] = vals[j]
+			} else {
+				e.Col[idx] = pad
+				e.Val[idx] = 0
+			}
+		}
+	}
+	return e, nil
+}
+
+// NNZ returns the stored entries including padding.
+func (e *ELL) NNZ() int { return e.NRows * e.Width }
+
+// PaddingRatio reports stored/structural entries (1.0 = perfectly
+// uniform rows, the §5.2.1 regular case).
+func (e *ELL) PaddingRatio(structuralNNZ int) float64 {
+	if structuralNNZ == 0 {
+		return math.Inf(1)
+	}
+	return float64(e.NNZ()) / float64(structuralNNZ)
+}
+
+// MulVec computes y = A*x.
+func (e *ELL) MulVec(x, y []float64) {
+	if len(x) != e.NCols || len(y) != e.NRows {
+		panic(fmt.Sprintf("sparse: ELL MulVec shapes: A %dx%d, x %d, y %d", e.NRows, e.NCols, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for j := 0; j < e.Width; j++ {
+		base := j * e.NRows
+		for i := 0; i < e.NRows; i++ {
+			y[i] += e.Val[base+i] * x[e.Col[base+i]]
+		}
+	}
+}
+
+// ToCSR converts back, dropping padding zeros.
+func (e *ELL) ToCSR() *CSR {
+	coo := NewCOO(e.NRows, e.NCols)
+	for j := 0; j < e.Width; j++ {
+		base := j * e.NRows
+		for i := 0; i < e.NRows; i++ {
+			if v := e.Val[base+i]; v != 0 {
+				coo.Add(i, e.Col[base+i], v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// DIA is the diagonal storage format: Offsets lists the stored
+// diagonals (0 = main, +k above, -k below) and Diags holds each
+// diagonal as a full-length strip indexed by row.
+type DIA struct {
+	N       int // square
+	Offsets []int
+	Diags   [][]float64 // Diags[d][i] = A(i, i+Offsets[d]) where valid
+}
+
+// ToDIA converts a square CSR matrix. maxDiags bounds the number of
+// distinct diagonals (0 = no bound); conversion fails beyond it, which
+// signals the matrix is not banded enough for DIA.
+func (m *CSR) ToDIA(maxDiags int) (*DIA, error) {
+	if m.NRows != m.NCols {
+		return nil, fmt.Errorf("sparse: DIA needs a square matrix, got %dx%d", m.NRows, m.NCols)
+	}
+	n := m.NRows
+	seen := map[int]bool{}
+	var offsets []int
+	for i := 0; i < n; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			off := m.Col[k] - i
+			if !seen[off] {
+				seen[off] = true
+				offsets = append(offsets, off)
+			}
+		}
+	}
+	if maxDiags > 0 && len(offsets) > maxDiags {
+		return nil, fmt.Errorf("sparse: %d distinct diagonals exceed bound %d (matrix not banded)", len(offsets), maxDiags)
+	}
+	// Sort offsets ascending for deterministic layout.
+	for i := 1; i < len(offsets); i++ {
+		for j := i; j > 0 && offsets[j] < offsets[j-1]; j-- {
+			offsets[j], offsets[j-1] = offsets[j-1], offsets[j]
+		}
+	}
+	idx := make(map[int]int, len(offsets))
+	for d, off := range offsets {
+		idx[off] = d
+	}
+	dia := &DIA{N: n, Offsets: offsets, Diags: make([][]float64, len(offsets))}
+	for d := range dia.Diags {
+		dia.Diags[d] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			dia.Diags[idx[m.Col[k]-i]][i] = m.Val[k]
+		}
+	}
+	return dia, nil
+}
+
+// NNZ returns the stored entries including the zero parts of each
+// diagonal strip.
+func (d *DIA) NNZ() int { return len(d.Offsets) * d.N }
+
+// MulVec computes y = A*x diagonal by diagonal.
+func (d *DIA) MulVec(x, y []float64) {
+	if len(x) != d.N || len(y) != d.N {
+		panic(fmt.Sprintf("sparse: DIA MulVec shapes: A %d, x %d, y %d", d.N, len(x), len(y)))
+	}
+	for i := range y {
+		y[i] = 0
+	}
+	for k, off := range d.Offsets {
+		diag := d.Diags[k]
+		lo, hi := 0, d.N
+		if off > 0 {
+			hi = d.N - off
+		} else {
+			lo = -off
+		}
+		for i := lo; i < hi; i++ {
+			y[i] += diag[i] * x[i+off]
+		}
+	}
+}
+
+// ToCSR converts back, dropping structural zeros.
+func (d *DIA) ToCSR() *CSR {
+	coo := NewCOO(d.N, d.N)
+	for k, off := range d.Offsets {
+		for i := 0; i < d.N; i++ {
+			j := i + off
+			if j < 0 || j >= d.N {
+				continue
+			}
+			if v := d.Diags[k][i]; v != 0 {
+				coo.Add(i, j, v)
+			}
+		}
+	}
+	return coo.ToCSR()
+}

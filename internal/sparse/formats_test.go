@@ -1,0 +1,165 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func mulVecClose(t *testing.T, name string, got, want []float64) {
+	t.Helper()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("%s: element %d = %g, want %g", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestELLRoundTripAndMulVec(t *testing.T) {
+	for name, A := range map[string]*CSR{
+		"banded":  Banded(40, 3),
+		"laplace": Laplace2D(5, 6),
+		"randspd": RandomSPD(30, 4, 2),
+	} {
+		e, err := A.ToELL(0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		x := RandomVector(A.NCols, 3)
+		want := make([]float64, A.NRows)
+		A.MulVec(x, want)
+		got := make([]float64, A.NRows)
+		e.MulVec(x, got)
+		mulVecClose(t, name+"/ell", got, want)
+
+		back := e.ToCSR()
+		if back.NNZ() != A.NNZ() {
+			t.Errorf("%s: round trip nnz %d != %d", name, back.NNZ(), A.NNZ())
+		}
+	}
+}
+
+func TestELLWidthBound(t *testing.T) {
+	// Power-law matrix: very uneven rows, ELL should refuse a tight bound.
+	A := PowerLaw(100, 1.0, 40, 5)
+	if _, err := A.ToELL(3); err == nil {
+		t.Error("irregular matrix accepted with tight width bound")
+	}
+	e, err := A.ToELL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Padding is wasteful for irregular rows — the §5.2.1 regular/
+	// irregular distinction in storage terms.
+	if e.PaddingRatio(A.NNZ()) < 1.5 {
+		t.Errorf("power-law padding ratio %g suspiciously small", e.PaddingRatio(A.NNZ()))
+	}
+	uniform := Banded(40, 2)
+	eu, err := uniform.ToELL(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eu.PaddingRatio(uniform.NNZ()) > 1.3 {
+		t.Errorf("banded padding ratio %g too large", eu.PaddingRatio(uniform.NNZ()))
+	}
+	if eu.NNZ() != uniform.NRows*eu.Width {
+		t.Errorf("NNZ accounting wrong")
+	}
+}
+
+func TestDIARoundTripAndMulVec(t *testing.T) {
+	A := Banded(50, 4)
+	d, err := A.ToDIA(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Offsets) != 9 { // -4..4
+		t.Errorf("banded halfband 4 has %d diagonals, want 9", len(d.Offsets))
+	}
+	x := RandomVector(50, 7)
+	want := make([]float64, 50)
+	A.MulVec(x, want)
+	got := make([]float64, 50)
+	d.MulVec(x, got)
+	mulVecClose(t, "dia", got, want)
+
+	back := d.ToCSR()
+	if back.NNZ() != A.NNZ() {
+		t.Errorf("round trip nnz %d != %d", back.NNZ(), A.NNZ())
+	}
+}
+
+func TestDIABounds(t *testing.T) {
+	A := RandomSPD(60, 8, 3)
+	if _, err := A.ToDIA(5); err == nil {
+		t.Error("random matrix accepted with tight diagonal bound")
+	}
+	rect := NewCOO(2, 3)
+	rect.Add(0, 0, 1)
+	if _, err := rect.ToCSR().ToDIA(0); err == nil {
+		t.Error("rectangular matrix accepted")
+	}
+	// Tridiagonal: exactly 3 diagonals, sorted offsets.
+	tri, err := Laplace1D(10).ToDIA(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tri.Offsets) != 3 || tri.Offsets[0] != -1 || tri.Offsets[2] != 1 {
+		t.Errorf("offsets %v", tri.Offsets)
+	}
+	if tri.NNZ() != 30 {
+		t.Errorf("DIA NNZ = %d", tri.NNZ())
+	}
+}
+
+func TestFormatShapeValidation(t *testing.T) {
+	e, _ := Laplace1D(5).ToELL(0)
+	d, _ := Laplace1D(5).ToDIA(0)
+	for _, fn := range []func(){
+		func() { e.MulVec(make([]float64, 4), make([]float64, 5)) },
+		func() { d.MulVec(make([]float64, 5), make([]float64, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected shape panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: ELL and DIA agree with CSR on random banded matrices.
+func TestFormatsQuick(t *testing.T) {
+	f := func(seed int64, nRaw, bandRaw uint8) bool {
+		n := int(nRaw%40) + 3
+		band := int(bandRaw%3) + 1
+		A := Banded(n, band)
+		x := RandomVector(n, seed)
+		want := make([]float64, n)
+		A.MulVec(x, want)
+
+		e, err := A.ToELL(0)
+		if err != nil {
+			return false
+		}
+		ge := make([]float64, n)
+		e.MulVec(x, ge)
+		d, err := A.ToDIA(0)
+		if err != nil {
+			return false
+		}
+		gd := make([]float64, n)
+		d.MulVec(x, gd)
+		for i := range want {
+			if math.Abs(ge[i]-want[i]) > 1e-9 || math.Abs(gd[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

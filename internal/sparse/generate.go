@@ -1,0 +1,372 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Laplace1D returns the n x n tridiagonal [-1 2 -1] matrix, the 1-D
+// Poisson operator. It is symmetric positive-definite.
+func Laplace1D(n int) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, 2)
+		if i > 0 {
+			coo.Add(i, i-1, -1)
+		}
+		if i < n-1 {
+			coo.Add(i, i+1, -1)
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Laplace2D returns the 5-point finite-difference Laplacian on an
+// nx x ny grid (the computational-fluid-dynamics style matrix the
+// paper's introduction motivates). Size is nx*ny; SPD.
+func Laplace2D(nx, ny int) *CSR {
+	n := nx * ny
+	coo := NewCOO(n, n)
+	idx := func(i, j int) int { return i*ny + j }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			g := idx(i, j)
+			coo.Add(g, g, 4)
+			if i > 0 {
+				coo.Add(g, idx(i-1, j), -1)
+			}
+			if i < nx-1 {
+				coo.Add(g, idx(i+1, j), -1)
+			}
+			if j > 0 {
+				coo.Add(g, idx(i, j-1), -1)
+			}
+			if j < ny-1 {
+				coo.Add(g, idx(i, j+1), -1)
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Laplace3D returns the 7-point Laplacian on an nx x ny x nz grid; SPD.
+func Laplace3D(nx, ny, nz int) *CSR {
+	n := nx * ny * nz
+	coo := NewCOO(n, n)
+	idx := func(i, j, k int) int { return (i*ny+j)*nz + k }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			for k := 0; k < nz; k++ {
+				g := idx(i, j, k)
+				coo.Add(g, g, 6)
+				if i > 0 {
+					coo.Add(g, idx(i-1, j, k), -1)
+				}
+				if i < nx-1 {
+					coo.Add(g, idx(i+1, j, k), -1)
+				}
+				if j > 0 {
+					coo.Add(g, idx(i, j-1, k), -1)
+				}
+				if j < ny-1 {
+					coo.Add(g, idx(i, j+1, k), -1)
+				}
+				if k > 0 {
+					coo.Add(g, idx(i, j, k-1), -1)
+				}
+				if k < nz-1 {
+					coo.Add(g, idx(i, j, k+1), -1)
+				}
+			}
+		}
+	}
+	return coo.ToCSR()
+}
+
+// Banded returns a symmetric banded matrix with the given half
+// bandwidth: entries -1 within the band, diagonal large enough to be
+// strictly diagonally dominant (hence SPD). Rows have approximately
+// equal nonzero counts — the "regular (uniform)" case of §5.2.1.
+func Banded(n, halfBand int) *CSR {
+	coo := NewCOO(n, n)
+	for i := 0; i < n; i++ {
+		off := 0
+		for d := 1; d <= halfBand; d++ {
+			if i-d >= 0 {
+				coo.Add(i, i-d, -1)
+				off++
+			}
+			if i+d < n {
+				coo.Add(i, i+d, -1)
+				off++
+			}
+		}
+		coo.Add(i, i, float64(off)+1)
+	}
+	return coo.ToCSR()
+}
+
+// RandomSPD returns an n x n symmetric, strictly diagonally dominant
+// (hence positive-definite) matrix with about nnzPerRow off-diagonal
+// entries per row, deterministically from seed.
+func RandomSPD(n, nnzPerRow int, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n, n)
+	absRowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for t := 0; t < nnzPerRow/2+1; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := rng.NormFloat64()
+			// Add symmetrically; duplicates are summed by ToCSR.
+			coo.Add(i, j, v)
+			coo.Add(j, i, v)
+			absRowSum[i] += math.Abs(v)
+			absRowSum[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+1+rng.Float64())
+	}
+	m := coo.ToCSR()
+	// Duplicate summation can only shrink |offdiag| sums, so dominance
+	// holds; assert symmetry in debug spirit.
+	if !m.IsSymmetric(1e-12) {
+		panic("sparse: RandomSPD produced a non-symmetric matrix")
+	}
+	return m
+}
+
+// PowerLaw returns an n x n symmetric SPD matrix whose row densities
+// follow a truncated power law: a few rows are very dense ("some grid
+// points may have many neighbours, while others have very few",
+// §5.2.2). alpha > 0 controls skew (larger = more skewed); maxDeg caps
+// the dense rows.
+func PowerLaw(n int, alpha float64, maxDeg int, seed int64) *CSR {
+	if maxDeg >= n {
+		maxDeg = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n, n)
+	absRowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		// Inverse-CDF sample of a power-law degree in [1, maxDeg].
+		u := rng.Float64()
+		deg := int(math.Pow(u, -1/alpha))
+		if deg < 1 {
+			deg = 1
+		}
+		if deg > maxDeg {
+			deg = maxDeg
+		}
+		for t := 0; t < deg; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -rng.Float64()
+			coo.Add(i, j, v)
+			coo.Add(j, i, v)
+			absRowSum[i] += math.Abs(v)
+			absRowSum[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+1)
+	}
+	return coo.ToCSR()
+}
+
+// PowerLawClustered is PowerLaw with the dense rows clustered at the
+// front of the index space (descending harmonic-ish degrees) instead of
+// scattered randomly. This is the §5.2.2 case of structure that is
+// "identifiable to a human but not to a compiler": a plain BLOCK
+// distribution hands the first processor almost all the work, while an
+// atom-aware balanced partitioner fixes it.
+func PowerLawClustered(n, maxDeg int, seed int64) *CSR {
+	if maxDeg >= n {
+		maxDeg = n - 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(n, n)
+	absRowSum := make([]float64, n)
+	for i := 0; i < n; i++ {
+		deg := maxDeg / (1 + i/8)
+		if deg < 1 {
+			deg = 1
+		}
+		for t := 0; t < deg; t++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -rng.Float64()
+			coo.Add(i, j, v)
+			coo.Add(j, i, v)
+			absRowSum[i] += math.Abs(v)
+			absRowSum[j] += math.Abs(v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		coo.Add(i, i, absRowSum[i]+1)
+	}
+	return coo.ToCSR()
+}
+
+// DiagWithEigenvalues returns a diagonal matrix whose spectrum is
+// exactly eigs (repeats allowed). CG on such a system converges in at
+// most (#distinct eigenvalues) iterations — the §2 convergence claim
+// experiment E9 checks.
+func DiagWithEigenvalues(eigs []float64) *CSR {
+	n := len(eigs)
+	coo := NewCOO(n, n)
+	for i, e := range eigs {
+		coo.Add(i, i, e)
+	}
+	return coo.ToCSR()
+}
+
+// NASCGClass describes a NAS-CG-style problem size. Substitution note
+// (see DESIGN.md): the official NAS `makea` builds A as a weighted sum
+// of random sparse outer products; we reproduce its *shape* — an
+// irregular random symmetric pattern with `Nonzer` entries per row and
+// a diagonal shift — which exercises the identical CG code path.
+type NASCGClass struct {
+	Name   string
+	N      int
+	Nonzer int
+	Shift  float64
+	NIter  int
+}
+
+// Standard NAS-CG classes (S and W are laptop-scale).
+var (
+	NASClassS = NASCGClass{Name: "S", N: 1400, Nonzer: 7, Shift: 10, NIter: 15}
+	NASClassW = NASCGClass{Name: "W", N: 7000, Nonzer: 8, Shift: 12, NIter: 15}
+	NASClassA = NASCGClass{Name: "A", N: 14000, Nonzer: 11, Shift: 20, NIter: 15}
+)
+
+// NASCGMatrix generates the class's matrix: random symmetric pattern
+// with cls.Nonzer off-diagonals per row, values in (0,1], plus
+// (shift + rowsum) on the diagonal so the matrix is SPD with smallest
+// eigenvalues near the shift.
+func NASCGMatrix(cls NASCGClass, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	coo := NewCOO(cls.N, cls.N)
+	absRowSum := make([]float64, cls.N)
+	for i := 0; i < cls.N; i++ {
+		for t := 0; t < cls.Nonzer; t++ {
+			j := rng.Intn(cls.N)
+			if j == i {
+				continue
+			}
+			v := rng.Float64()
+			coo.Add(i, j, v)
+			coo.Add(j, i, v)
+			absRowSum[i] += v
+			absRowSum[j] += v
+		}
+	}
+	for i := 0; i < cls.N; i++ {
+		coo.Add(i, i, absRowSum[i]+cls.Shift)
+	}
+	return coo.ToCSR()
+}
+
+// Figure1Matrix returns the 6x6 sparse matrix used in Figure 1 of the
+// paper to illustrate CSC storage (0-based here).
+//
+//	a11 a12  0   0  a15  0
+//	a21 a22  0  a24  0  a26
+//	a31  0  a33  0   0   0
+//	 0  a42  0  a44  0   0
+//	a51  0   0   0  a55  0
+//	 0  a62  0   0   0  a66
+//
+// The numeric values encode their 1-based position (a_ij = 10i + j) so
+// tests can recognise entries.
+func Figure1Matrix() *CSR {
+	coo := NewCOO(6, 6)
+	entries := [][2]int{
+		{1, 1}, {1, 2}, {1, 5},
+		{2, 1}, {2, 2}, {2, 4}, {2, 6},
+		{3, 1}, {3, 3},
+		{4, 2}, {4, 4},
+		{5, 1}, {5, 5},
+		{6, 2}, {6, 6},
+	}
+	for _, e := range entries {
+		coo.Add(e[0]-1, e[1]-1, float64(10*e[0]+e[1]))
+	}
+	return coo.ToCSR()
+}
+
+// RandomVector returns an n-vector of standard normal entries,
+// deterministically from seed.
+func RandomVector(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// Ones returns the all-ones n-vector.
+func Ones(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 1
+	}
+	return x
+}
+
+// GeneratorByName builds one of the named test matrices; used by the
+// CLIs. Supported: laplace1d:n, laplace2d:nx:ny, laplace3d:nx:ny:nz,
+// banded:n:halfband, randspd:n:nnzrow:seed, powerlaw:n:seed,
+// nascg:S|W|A:seed.
+func GeneratorByName(spec string) (*CSR, error) {
+	var (
+		a, b, c int
+		name    string
+	)
+	if n, _ := fmt.Sscanf(spec, "laplace1d:%d", &a); n == 1 {
+		return Laplace1D(a), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "laplace2d:%d:%d", &a, &b); n == 2 {
+		return Laplace2D(a, b), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "laplace3d:%d:%d:%d", &a, &b, &c); n == 3 {
+		return Laplace3D(a, b, c), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "banded:%d:%d", &a, &b); n == 2 {
+		return Banded(a, b), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "randspd:%d:%d:%d", &a, &b, &c); n == 3 {
+		return RandomSPD(a, b, int64(c)), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "powerlawc:%d:%d", &a, &b); n == 2 {
+		return PowerLawClustered(a, a/8, int64(b)), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "powerlaw:%d:%d", &a, &b); n == 2 {
+		return PowerLaw(a, 1.2, a/4, int64(b)), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "nascg:%1s:%d", &name, &a); n == 2 {
+		var cls NASCGClass
+		switch name {
+		case "S":
+			cls = NASClassS
+		case "W":
+			cls = NASClassW
+		case "A":
+			cls = NASClassA
+		default:
+			return nil, fmt.Errorf("sparse: unknown NAS class %q", name)
+		}
+		return NASCGMatrix(cls, int64(a)), nil
+	}
+	return nil, fmt.Errorf("sparse: unknown matrix spec %q", spec)
+}

@@ -1,0 +1,94 @@
+package sparse
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMatrixMarket writes m in the Matrix Market coordinate format
+// ("%%MatrixMarket matrix coordinate real general", 1-based indices),
+// the lingua franca for the application matrices the paper's
+// experiments draw on.
+func WriteMatrixMarket(w io.Writer, m *CSR) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%%%%MatrixMarket matrix coordinate real general\n"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d %d\n", m.NRows, m.NCols, m.NNZ()); err != nil {
+		return err
+	}
+	for i := 0; i < m.NRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if _, err := fmt.Fprintf(bw, "%d %d %.17g\n", i+1, m.Col[k]+1, m.Val[k]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMatrixMarket parses the coordinate real format written by
+// WriteMatrixMarket (general or symmetric; symmetric entries are
+// mirrored).
+func ReadMatrixMarket(r io.Reader) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sparse: empty matrix market stream")
+	}
+	header := sc.Text()
+	if !strings.HasPrefix(header, "%%MatrixMarket") {
+		return nil, fmt.Errorf("sparse: bad header %q", header)
+	}
+	fields := strings.Fields(strings.ToLower(header))
+	if len(fields) < 5 || fields[2] != "coordinate" || fields[3] != "real" {
+		return nil, fmt.Errorf("sparse: unsupported matrix market type %q", header)
+	}
+	symmetric := fields[4] == "symmetric"
+
+	// Skip comments, read size line.
+	var nrows, ncols, nnz int
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &nrows, &ncols, &nnz); err != nil {
+			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+		}
+		break
+	}
+	if nrows <= 0 || ncols <= 0 {
+		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", nrows, ncols)
+	}
+	coo := NewCOO(nrows, ncols)
+	read := 0
+	for read < nnz && sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		var i, j int
+		var v float64
+		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &v); err != nil {
+			return nil, fmt.Errorf("sparse: bad entry %q: %w", line, err)
+		}
+		if i < 1 || i > nrows || j < 1 || j > ncols {
+			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", i, j, nrows, ncols)
+		}
+		coo.Add(i-1, j-1, v)
+		if symmetric && i != j {
+			coo.Add(j-1, i-1, v)
+		}
+		read++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if read < nnz {
+		return nil, fmt.Errorf("sparse: expected %d entries, got %d", nnz, read)
+	}
+	return coo.ToCSR(), nil
+}

@@ -1,0 +1,122 @@
+package sparse
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMatrixMarketRoundTrip(t *testing.T) {
+	m := RandomSPD(25, 4, 13)
+	var buf bytes.Buffer
+	if err := WriteMatrixMarket(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadMatrixMarket(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NRows != m.NRows || back.NCols != m.NCols || back.NNZ() != m.NNZ() {
+		t.Fatalf("shape changed: %dx%d nnz %d", back.NRows, back.NCols, back.NNZ())
+	}
+	for i := 0; i < m.NRows; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.Col[k]
+			if math.Abs(back.At(i, j)-m.Val[k]) > 1e-15 {
+				t.Fatalf("entry (%d,%d) changed: %g vs %g", i, j, back.At(i, j), m.Val[k])
+			}
+		}
+	}
+}
+
+func TestMatrixMarketSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real symmetric
+% lower triangle of a 3x3 matrix
+3 3 4
+1 1 2.0
+2 1 -1.0
+2 2 2.0
+3 3 1.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != -1 || m.At(1, 0) != -1 {
+		t.Errorf("symmetric mirror missing: %g %g", m.At(0, 1), m.At(1, 0))
+	}
+	if !m.IsSymmetric(0) {
+		t.Error("expected symmetric read")
+	}
+	if m.NNZ() != 5 {
+		t.Errorf("NNZ = %d, want 5", m.NNZ())
+	}
+}
+
+func TestMatrixMarketErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"not a header\n1 1 1\n",
+		"%%MatrixMarket matrix array real general\n1 1\n",
+		"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n", // too few entries
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n9 9 1.0\n", // out of range
+		"%%MatrixMarket matrix coordinate real general\n-1 2 0\n",         // bad dims
+		"%%MatrixMarket matrix coordinate real general\nbogus\n",          // bad size line
+		"%%MatrixMarket matrix coordinate real general\n2 2 1\n1 x 1.0\n", // bad entry
+	}
+	for i, in := range cases {
+		if _, err := ReadMatrixMarket(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestMatrixMarketCommentsSkipped(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+% comment line
+% another
+
+2 2 1
+1 2 3.5
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 3.5 {
+		t.Errorf("At(0,1) = %g", m.At(0, 1))
+	}
+}
+
+// FuzzReadMatrixMarket checks the reader never panics on arbitrary
+// input and that round-tripping accepted matrices is stable.
+func FuzzReadMatrixMarket(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteMatrixMarket(&buf, Laplace1D(5))
+	f.Add(buf.String())
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 3.5\n")
+	f.Add("%%MatrixMarket matrix coordinate real symmetric\n2 2 1\n2 1 -1\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n-1 0 0\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ReadMatrixMarket(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("accepted matrix fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteMatrixMarket(&out, m); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		back, err := ReadMatrixMarket(&out)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.NNZ() != m.NNZ() || back.NRows != m.NRows {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package spmv
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+)
+
+// RowBlockELL is Scenario 1 with ELLPACK storage: the uniform-row
+// format of §5.2.1's "regular" case. Each processor stores its row
+// strip as a dense (localRows x width) sheet, so the inner loop has no
+// row-pointer indirection — the trade the paper describes between
+// exploiting structure and generality. Communication is identical to
+// RowBlockCSR (the allgather of p); only the local loop changes.
+type RowBlockELL struct {
+	p     *comm.Proc
+	d     dist.Contiguous
+	width int
+	col   []int     // column-major local sheet: col[j*rows+i]
+	val   []float64 // same layout
+	rows  int
+	n     int
+	nnz   int
+}
+
+// NewRowBlockELL slices processor p's row strip of A and converts it
+// to ELLPACK. maxWidth bounds the acceptable row width (0 = no bound);
+// construction panics if the strip is too irregular, mirroring
+// sparse.CSR.ToELL.
+func NewRowBlockELL(p *comm.Proc, A *sparse.CSR, d dist.Contiguous, maxWidth int) *RowBlockELL {
+	if A.NRows != A.NCols {
+		panic(fmt.Sprintf("spmv: matrix must be square, got %dx%d", A.NRows, A.NCols))
+	}
+	if A.NRows != d.N() || d.NP() != p.NP() {
+		panic(fmt.Sprintf("spmv: distribution %dx%d does not match matrix %d / machine %d",
+			d.N(), d.NP(), A.NRows, p.NP()))
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	rows := d.Count(r)
+
+	width := 0
+	for i := lo; i < lo+rows; i++ {
+		if w := A.RowPtr[i+1] - A.RowPtr[i]; w > width {
+			width = w
+		}
+	}
+	if maxWidth > 0 && width > maxWidth {
+		panic(fmt.Sprintf("spmv: local ELL width %d exceeds bound %d (row strip too irregular)", width, maxWidth))
+	}
+	e := &RowBlockELL{
+		p:     p,
+		d:     d,
+		width: width,
+		col:   make([]int, rows*width),
+		val:   make([]float64, rows*width),
+		rows:  rows,
+		n:     A.NRows,
+		nnz:   A.NNZ(),
+	}
+	for i := 0; i < rows; i++ {
+		cols, vals := A.Row(lo + i)
+		pad := 0
+		if len(cols) > 0 {
+			pad = cols[0]
+		}
+		for j := 0; j < width; j++ {
+			idx := j*rows + i
+			if j < len(cols) {
+				e.col[idx] = cols[j]
+				e.val[idx] = vals[j]
+			} else {
+				e.col[idx] = pad
+				e.val[idx] = 0
+			}
+		}
+	}
+	return e
+}
+
+// N implements Operator.
+func (a *RowBlockELL) N() int { return a.n }
+
+// NNZ implements Operator (structural nonzeros, not padded storage).
+func (a *RowBlockELL) NNZ() int { return a.nnz }
+
+// Width returns the local ELLPACK width (padding included).
+func (a *RowBlockELL) Width() int { return a.width }
+
+// Apply implements Operator: allgather p, then the padded dense sheet
+// loop (compute charged for stored entries including padding, the cost
+// of the format on non-uniform rows).
+func (a *RowBlockELL) Apply(x, y *darray.Vector) {
+	checkAligned("RowBlockELL.Apply", a.d, x, y)
+	xFull := x.Gather()
+	yl := y.Local()
+	for i := range yl {
+		yl[i] = 0
+	}
+	for j := 0; j < a.width; j++ {
+		base := j * a.rows
+		for i := 0; i < a.rows; i++ {
+			yl[i] += a.val[base+i] * xFull[a.col[base+i]]
+		}
+	}
+	a.p.Compute(2 * a.rows * a.width)
+}

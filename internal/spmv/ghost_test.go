@@ -1,0 +1,183 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+)
+
+func TestGhostOperatorMatchesReference(t *testing.T) {
+	for name, A := range testMatrices() {
+		want := reference(A, false)
+		for _, np := range testNPs {
+			got := runApply(t, np, A, func(p *comm.Proc, d dist.Contiguous) Operator {
+				return NewRowBlockCSRGhost(p, A, d)
+			}, false)
+			checkClose(t, name+"/ghost", got, want)
+		}
+	}
+}
+
+func TestGhostScheduleReusedAcrossApplies(t *testing.T) {
+	A := sparse.Banded(64, 2)
+	np := 4
+	d := dist.NewBlock(64, np)
+	machine(np).Run(func(p *comm.Proc) {
+		op := NewRowBlockCSRGhost(p, A, d)
+		x := darray.New(p, d)
+		y := darray.New(p, d)
+		for rep := 0; rep < 3; rep++ {
+			x.SetGlobal(func(g int) float64 { return float64(g + rep) })
+			op.Apply(x, y)
+			full := y.Gather()
+			ref := make([]float64, 64)
+			xf := make([]float64, 64)
+			for g := range xf {
+				xf[g] = float64(g + rep)
+			}
+			A.MulVec(xf, ref)
+			for i := range ref {
+				if math.Abs(full[i]-ref[i]) > 1e-10 {
+					t.Fatalf("rep %d: elem %d = %g, want %g", rep, i, full[i], ref[i])
+				}
+			}
+		}
+	})
+}
+
+func TestGhostMetadata(t *testing.T) {
+	A := sparse.Banded(40, 3)
+	np := 4
+	d := dist.NewBlock(40, np)
+	machine(np).Run(func(p *comm.Proc) {
+		op := NewRowBlockCSRGhost(p, A, d)
+		if op.N() != 40 || op.NNZ() != A.NNZ() {
+			t.Errorf("metadata: N=%d NNZ=%d", op.N(), op.NNZ())
+		}
+		if op.LocalNNZ() <= 0 {
+			t.Errorf("LocalNNZ = %d", op.LocalNNZ())
+		}
+		// Halfband 3 halo: at most 3 ghosts per side.
+		if op.NGhosts() > 6 {
+			t.Errorf("banded halo has %d ghosts, want <= 6", op.NGhosts())
+		}
+		if p.NP() > 1 && op.NGhosts() == 0 {
+			t.Error("interior processors should have ghosts")
+		}
+	})
+}
+
+// The E14 claim: on a banded matrix the ghost operator moves far fewer
+// bytes per apply than the broadcast operator, and modeled time drops.
+func TestGhostBeatsBroadcastOnBanded(t *testing.T) {
+	n := 2048
+	A := sparse.Banded(n, 4)
+	np := 8
+	d := dist.NewBlock(n, np)
+	run := func(ghost bool, applies int) comm.RunStats {
+		return machine(np).Run(func(p *comm.Proc) {
+			var op Operator
+			if ghost {
+				op = NewRowBlockCSRGhost(p, A, d)
+			} else {
+				op = NewRowBlockCSR(p, A, d)
+			}
+			x := darray.New(p, d)
+			y := darray.New(p, d)
+			x.Fill(1)
+			for i := 0; i < applies; i++ {
+				op.Apply(x, y)
+			}
+		})
+	}
+	const applies = 10
+	bc := run(false, applies)
+	gh := run(true, applies) // includes the one-time inspector
+	if gh.TotalBytes >= bc.TotalBytes {
+		t.Errorf("ghost moved %d bytes, broadcast %d", gh.TotalBytes, bc.TotalBytes)
+	}
+	if gh.ModelTime >= bc.ModelTime {
+		t.Errorf("ghost model time %g, broadcast %g", gh.ModelTime, bc.ModelTime)
+	}
+}
+
+// CG must run unchanged on the ghost operator (it is just an Operator).
+func TestGhostWorksUnderGather(t *testing.T) {
+	// A dense-ish random matrix: the ghost set approaches the whole
+	// vector, and results must still be exact.
+	A := sparse.RandomSPD(60, 20, 4)
+	want := reference(A, false)
+	got := runApply(t, 4, A, func(p *comm.Proc, d dist.Contiguous) Operator {
+		return NewRowBlockCSRGhost(p, A, d)
+	}, false)
+	checkClose(t, "dense-ghost", got, want)
+}
+
+func TestRowBlockELLMatchesReference(t *testing.T) {
+	for name, A := range testMatrices() {
+		want := reference(A, false)
+		for _, np := range testNPs {
+			got := runApply(t, np, A, func(p *comm.Proc, d dist.Contiguous) Operator {
+				return NewRowBlockELL(p, A, d, 0)
+			}, false)
+			checkClose(t, name+"/ell", got, want)
+		}
+	}
+}
+
+func TestRowBlockELLWidthBound(t *testing.T) {
+	A := sparse.PowerLaw(60, 1.0, 30, 3)
+	d := dist.NewBlock(60, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("irregular strip accepted under tight width bound")
+		}
+	}()
+	machine(2).Run(func(p *comm.Proc) {
+		NewRowBlockELL(p, A, d, 2)
+	})
+}
+
+func TestRowBlockELLMetadata(t *testing.T) {
+	A := sparse.Banded(24, 2)
+	d := dist.NewBlock(24, 3)
+	machine(3).Run(func(p *comm.Proc) {
+		op := NewRowBlockELL(p, A, d, 0)
+		if op.N() != 24 || op.NNZ() != A.NNZ() {
+			t.Errorf("metadata N=%d NNZ=%d", op.N(), op.NNZ())
+		}
+		if op.Width() != 5 { // halfband 2 -> at most 5 per row
+			t.Errorf("Width = %d, want 5", op.Width())
+		}
+	})
+}
+
+// ELL under CG: the uniform format must plug into the solver unchanged.
+func TestRowBlockELLUnderCG(t *testing.T) {
+	A := sparse.Banded(48, 3)
+	b := sparse.RandomVector(48, 9)
+	want := reference(A, false) // reuse harness helpers for shape only
+	_ = want
+	np := 4
+	d := dist.NewBlock(48, np)
+	machine(np).Run(func(p *comm.Proc) {
+		op := NewRowBlockELL(p, A, d, 0)
+		x := darray.New(p, d)
+		y := darray.New(p, d)
+		x.SetGlobal(func(g int) float64 { return b[g] })
+		op.Apply(x, y)
+		// One apply suffices here; full CG coverage lives in core tests.
+		full := y.Gather()
+		ref := make([]float64, 48)
+		A.MulVec(b, ref)
+		for i := range ref {
+			if math.Abs(full[i]-ref[i]) > 1e-10 {
+				t.Fatalf("elem %d = %g, want %g", i, full[i], ref[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,452 @@
+// Package spmv implements the distributed matrix-vector products of §4
+// of the paper, for dense and compressed sparse storage, under the two
+// partitioning scenarios it analyses:
+//
+// Scenario 1 (row-wise): the matrix is distributed (BLOCK, *) — each
+// processor owns a strip of whole rows, aligned with the result vector
+// q. Because a sparse row may reference any column of p, the whole of p
+// must be made available first: an all-to-all broadcast (allgather)
+// costing t_s-ish*(NP) + t_w*n*(NP-1)/NP. The multiply itself is then
+// purely local and the result needs no rearrangement.
+//
+// Scenario 2 (column-wise): the matrix is distributed (*, BLOCK) — each
+// processor owns a strip of whole columns, aligned with the operand
+// vector p. No broadcast of p is needed, but contributions to q(row(k))
+// scatter across processors: a many-to-one accumulation that HPF-1
+// cannot parallelise. Two executions are provided:
+//
+//   - ModeSerialized emulates what an HPF-1 compiler must do with the
+//     dependent loop: execute the column loop in global order, with the
+//     running q carried processor to processor (NP-1 messages of n
+//     elements) and finally scattered. The modeled clock serialises the
+//     compute exactly as the paper describes ("no parallel loop
+//     execution is possible").
+//   - ModePrivateMerge is the paper's proposed §5.1 extension: each
+//     processor accumulates into a PRIVATE full-length copy of q and the
+//     copies are merged with MERGE(+) — a reduce-scatter costing the
+//     same asymptotically as Scenario 1's broadcast, which is the
+//     paper's conclusion that neither regular striping can reduce the
+//     communication time.
+//
+// Transpose products (ApplyT) are provided for BiCG: under row-wise
+// partitioning A^T must be applied column-wise and vice versa, so "any
+// storage distribution optimisations made on the basis of row access
+// vs. column access will be negated" — experiment E6 measures that.
+package spmv
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+)
+
+// Operator is a distributed linear operator y = A*x over aligned
+// distributed vectors.
+type Operator interface {
+	// N returns the (square) global dimension.
+	N() int
+	// NNZ returns the global stored-entry count (n*n for dense).
+	NNZ() int
+	// Apply computes y = A*x. x and y must be aligned with the
+	// operator's vector distribution.
+	Apply(x, y *darray.Vector)
+}
+
+// TransposeOperator additionally applies A^T, as BiCG requires.
+type TransposeOperator interface {
+	Operator
+	// ApplyT computes y = A^T*x.
+	ApplyT(x, y *darray.Vector)
+}
+
+// Mode selects how the column-partitioned many-to-one accumulation is
+// executed (see the package comment).
+type Mode int
+
+const (
+	// ModeSerialized runs the dependent loop serially in global column
+	// order, as HPF-1 forces.
+	ModeSerialized Mode = iota
+	// ModePrivateMerge uses the paper's proposed PRIVATE/MERGE(+)
+	// extension.
+	ModePrivateMerge
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSerialized:
+		return "serialized"
+	case ModePrivateMerge:
+		return "private-merge"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+func checkAligned(op string, d dist.Dist, x, y *darray.Vector) {
+	if !dist.Same(d, x.Dist()) || !dist.Same(d, y.Dist()) {
+		panic(fmt.Sprintf("spmv: %s operands not aligned with operator distribution %s", op, d.Name()))
+	}
+}
+
+// RowBlockCSR is Scenario 1 with CSR storage: processor r holds the
+// whole rows [Lo(r), Lo(r)+Count(r)) of A (the paper's
+// ALIGN A(:,*) WITH p(:), DISTRIBUTE row/col/a accordingly).
+type RowBlockCSR struct {
+	p        *comm.Proc
+	d        dist.Contiguous
+	lo       int
+	rowPtr   []int // local rows, rebased to 0
+	col      []int // global column indices
+	val      []float64
+	n        int
+	nnz      int
+	nnzLocal int
+}
+
+// NewRowBlockCSR slices processor p's row strip out of the global
+// matrix A. Every processor must call it with the same A and d.
+func NewRowBlockCSR(p *comm.Proc, A *sparse.CSR, d dist.Contiguous) *RowBlockCSR {
+	if A.NRows != A.NCols {
+		panic(fmt.Sprintf("spmv: matrix must be square, got %dx%d", A.NRows, A.NCols))
+	}
+	if A.NRows != d.N() || d.NP() != p.NP() {
+		panic(fmt.Sprintf("spmv: distribution %dx%d does not match matrix %d / machine %d",
+			d.N(), d.NP(), A.NRows, p.NP()))
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	hi := lo + d.Count(r)
+	base := A.RowPtr[lo]
+	rowPtr := make([]int, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		rowPtr[i-lo] = A.RowPtr[i] - base
+	}
+	return &RowBlockCSR{
+		p:        p,
+		d:        d,
+		lo:       lo,
+		rowPtr:   rowPtr,
+		col:      A.Col[base:A.RowPtr[hi]],
+		val:      A.Val[base:A.RowPtr[hi]],
+		n:        A.NRows,
+		nnz:      A.NNZ(),
+		nnzLocal: A.RowPtr[hi] - base,
+	}
+}
+
+// N implements Operator.
+func (a *RowBlockCSR) N() int { return a.n }
+
+// NNZ implements Operator.
+func (a *RowBlockCSR) NNZ() int { return a.nnz }
+
+// LocalNNZ returns this processor's stored entries (load metric).
+func (a *RowBlockCSR) LocalNNZ() int { return a.nnzLocal }
+
+// Apply implements Operator: allgather p, then local row loop — the
+// Figure 2 FORALL over j with the inner DO over row(j):row(j+1)-1.
+func (a *RowBlockCSR) Apply(x, y *darray.Vector) {
+	checkAligned("RowBlockCSR.Apply", a.d, x, y)
+	xFull := x.Gather()
+	yl := y.Local()
+	for i := range yl {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			s += a.val[k] * xFull[a.col[k]]
+		}
+		yl[i] = s
+	}
+	a.p.Compute(2 * a.nnzLocal)
+}
+
+// ApplyT implements TransposeOperator. The local rows of A are columns
+// of A^T, so the product becomes a column-partitioned many-to-one
+// accumulation: a PRIVATE full-length accumulator merged with
+// reduce-scatter. This is the §2.1 BiCG penalty: the transpose product
+// re-introduces the merge communication the row distribution avoided.
+func (a *RowBlockCSR) ApplyT(x, y *darray.Vector) {
+	checkAligned("RowBlockCSR.ApplyT", a.d, x, y)
+	xl := x.Local()
+	priv := make([]float64, a.n)
+	for i := range xl {
+		xi := xl[i]
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			priv[a.col[k]] += a.val[k] * xi
+		}
+	}
+	a.p.Compute(2 * a.nnzLocal)
+	y.ReduceScatterFrom(priv)
+}
+
+// ColBlockCSC is Scenario 2 with CSC storage: processor r holds the
+// whole columns [Lo(r), ...) of A, aligned with p.
+type ColBlockCSC struct {
+	p        *comm.Proc
+	d        dist.Contiguous
+	lo       int
+	colPtr   []int // local columns, rebased
+	row      []int // global row indices
+	val      []float64
+	n        int
+	nnz      int
+	nnzLocal int
+	mode     Mode
+}
+
+// NewColBlockCSC slices processor p's column strip out of A.
+func NewColBlockCSC(p *comm.Proc, A *sparse.CSC, d dist.Contiguous, mode Mode) *ColBlockCSC {
+	if A.NRows != A.NCols {
+		panic(fmt.Sprintf("spmv: matrix must be square, got %dx%d", A.NRows, A.NCols))
+	}
+	if A.NRows != d.N() || d.NP() != p.NP() {
+		panic(fmt.Sprintf("spmv: distribution %dx%d does not match matrix %d / machine %d",
+			d.N(), d.NP(), A.NRows, p.NP()))
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	hi := lo + d.Count(r)
+	base := A.ColPtr[lo]
+	colPtr := make([]int, hi-lo+1)
+	for j := lo; j <= hi; j++ {
+		colPtr[j-lo] = A.ColPtr[j] - base
+	}
+	return &ColBlockCSC{
+		p:        p,
+		d:        d,
+		lo:       lo,
+		colPtr:   colPtr,
+		row:      A.Row[base:A.ColPtr[hi]],
+		val:      A.Val[base:A.ColPtr[hi]],
+		n:        A.NRows,
+		nnz:      A.NNZ(),
+		nnzLocal: A.ColPtr[hi] - base,
+		mode:     mode,
+	}
+}
+
+// N implements Operator.
+func (a *ColBlockCSC) N() int { return a.n }
+
+// NNZ implements Operator.
+func (a *ColBlockCSC) NNZ() int { return a.nnz }
+
+// LocalNNZ returns this processor's stored entries.
+func (a *ColBlockCSC) LocalNNZ() int { return a.nnzLocal }
+
+// Mode returns the accumulation mode.
+func (a *ColBlockCSC) Mode() Mode { return a.mode }
+
+// accumulate adds this processor's column contributions into the
+// full-length vector q using only local x elements (p is aligned with
+// the columns, so "performing the element-wise multiplication will not
+// require any interprocessor communication").
+func (a *ColBlockCSC) accumulate(xl []float64, q []float64) {
+	for j := range xl {
+		pj := xl[j]
+		for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+			q[a.row[k]] += a.val[k] * pj
+		}
+	}
+	a.p.Compute(2 * a.nnzLocal)
+}
+
+// Apply implements Operator in the configured mode.
+func (a *ColBlockCSC) Apply(x, y *darray.Vector) {
+	checkAligned("ColBlockCSC.Apply", a.d, x, y)
+	switch a.mode {
+	case ModeSerialized:
+		a.applySerialized(x, y)
+	case ModePrivateMerge:
+		a.applyPrivateMerge(x, y)
+	default:
+		panic(fmt.Sprintf("spmv: unknown mode %v", a.mode))
+	}
+}
+
+// applySerialized executes the dependent loop in global column order:
+// the running q travels rank to rank (each processor's compute starts
+// only after its predecessor's finishes — the modeled clock enforces
+// the serialisation), then the final q is scattered to its owners.
+func (a *ColBlockCSC) applySerialized(x, y *darray.Vector) {
+	const tagQ = 101
+	np := a.p.NP()
+	r := a.p.Rank()
+	var q []float64
+	if r == 0 {
+		q = make([]float64, a.n)
+	} else {
+		q = a.p.RecvFloats(r-1, tagQ)
+	}
+	a.accumulate(x.Local(), q)
+	if r < np-1 {
+		a.p.SendFloats(r+1, tagQ, q)
+		q = nil
+	}
+	// Last processor owns the completed q; scatter it by y's layout.
+	y.ScatterFrom(np-1, q)
+}
+
+// applyPrivateMerge is the §5.1 extension path: private accumulation,
+// then MERGE(+) via reduce-scatter onto y's distribution.
+func (a *ColBlockCSC) applyPrivateMerge(x, y *darray.Vector) {
+	priv := make([]float64, a.n)
+	a.accumulate(x.Local(), priv)
+	y.ReduceScatterFrom(priv)
+}
+
+// ApplyT implements TransposeOperator: the local columns of A are rows
+// of A^T, so the transpose product is Scenario 1 shaped — gather x,
+// then a purely local row loop over A^T's rows.
+func (a *ColBlockCSC) ApplyT(x, y *darray.Vector) {
+	checkAligned("ColBlockCSC.ApplyT", a.d, x, y)
+	xFull := x.Gather()
+	yl := y.Local()
+	for j := range yl {
+		s := 0.0
+		for k := a.colPtr[j]; k < a.colPtr[j+1]; k++ {
+			s += a.val[k] * xFull[a.row[k]]
+		}
+		yl[j] = s
+	}
+	a.p.Compute(2 * a.nnzLocal)
+}
+
+// DenseRowBlock is Scenario 1 with dense storage (Figure 3):
+// A distributed (BLOCK, *).
+type DenseRowBlock struct {
+	p    *comm.Proc
+	d    dist.Contiguous
+	lo   int
+	rows [][]float64 // local rows (views into A)
+	n    int
+}
+
+// NewDenseRowBlock slices processor p's row strip out of dense A.
+func NewDenseRowBlock(p *comm.Proc, A *sparse.Dense, d dist.Contiguous) *DenseRowBlock {
+	if A.NRows != A.NCols || A.NRows != d.N() || d.NP() != p.NP() {
+		panic("spmv: DenseRowBlock shape mismatch")
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	rows := make([][]float64, d.Count(r))
+	for i := range rows {
+		rows[i] = A.Row(lo + i)
+	}
+	return &DenseRowBlock{p: p, d: d, lo: lo, rows: rows, n: A.NRows}
+}
+
+// N implements Operator.
+func (a *DenseRowBlock) N() int { return a.n }
+
+// NNZ implements Operator.
+func (a *DenseRowBlock) NNZ() int { return a.n * a.n }
+
+// Apply implements Operator: allgather p, local dense row loop.
+func (a *DenseRowBlock) Apply(x, y *darray.Vector) {
+	checkAligned("DenseRowBlock.Apply", a.d, x, y)
+	xFull := x.Gather()
+	yl := y.Local()
+	for i, row := range a.rows {
+		s := 0.0
+		for j, v := range row {
+			s += v * xFull[j]
+		}
+		yl[i] = s
+	}
+	a.p.Compute(2 * a.n * len(a.rows))
+}
+
+// ApplyT implements TransposeOperator via private accumulation and
+// merge, mirroring RowBlockCSR.ApplyT.
+func (a *DenseRowBlock) ApplyT(x, y *darray.Vector) {
+	checkAligned("DenseRowBlock.ApplyT", a.d, x, y)
+	xl := x.Local()
+	priv := make([]float64, a.n)
+	for i, row := range a.rows {
+		xi := xl[i]
+		for j, v := range row {
+			priv[j] += v * xi
+		}
+	}
+	a.p.Compute(2 * a.n * len(a.rows))
+	y.ReduceScatterFrom(priv)
+}
+
+// DenseColBlock is Scenario 2 with dense storage (Figure 4):
+// A distributed (*, BLOCK), supporting both accumulation modes.
+type DenseColBlock struct {
+	p    *comm.Proc
+	d    dist.Contiguous
+	lo   int
+	cols [][]float64 // local columns, copied column-major
+	n    int
+	mode Mode
+}
+
+// NewDenseColBlock slices (and transposes into column-major) processor
+// p's column strip of dense A.
+func NewDenseColBlock(p *comm.Proc, A *sparse.Dense, d dist.Contiguous, mode Mode) *DenseColBlock {
+	if A.NRows != A.NCols || A.NRows != d.N() || d.NP() != p.NP() {
+		panic("spmv: DenseColBlock shape mismatch")
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	cols := make([][]float64, d.Count(r))
+	for c := range cols {
+		col := make([]float64, A.NRows)
+		for i := 0; i < A.NRows; i++ {
+			col[i] = A.At(i, lo+c)
+		}
+		cols[c] = col
+	}
+	return &DenseColBlock{p: p, d: d, lo: lo, cols: cols, n: A.NRows, mode: mode}
+}
+
+// N implements Operator.
+func (a *DenseColBlock) N() int { return a.n }
+
+// NNZ implements Operator.
+func (a *DenseColBlock) NNZ() int { return a.n * a.n }
+
+func (a *DenseColBlock) accumulate(xl, q []float64) {
+	for c, col := range a.cols {
+		pj := xl[c]
+		for i, v := range col {
+			q[i] += v * pj
+		}
+	}
+	a.p.Compute(2 * a.n * len(a.cols))
+}
+
+// Apply implements Operator in the configured mode (see ColBlockCSC).
+func (a *DenseColBlock) Apply(x, y *darray.Vector) {
+	checkAligned("DenseColBlock.Apply", a.d, x, y)
+	switch a.mode {
+	case ModeSerialized:
+		const tagQ = 102
+		np := a.p.NP()
+		r := a.p.Rank()
+		var q []float64
+		if r == 0 {
+			q = make([]float64, a.n)
+		} else {
+			q = a.p.RecvFloats(r-1, tagQ)
+		}
+		a.accumulate(x.Local(), q)
+		if r < np-1 {
+			a.p.SendFloats(r+1, tagQ, q)
+			q = nil
+		}
+		y.ScatterFrom(np-1, q)
+	case ModePrivateMerge:
+		priv := make([]float64, a.n)
+		a.accumulate(x.Local(), priv)
+		y.ReduceScatterFrom(priv)
+	default:
+		panic(fmt.Sprintf("spmv: unknown mode %v", a.mode))
+	}
+}
