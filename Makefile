@@ -1,0 +1,35 @@
+# Build/test entry points. `make check` is the documented pre-merge
+# gate: full build, vet, the whole test suite, and a race-detector
+# pass over the concurrency-heavy packages (the SPMD machine and the
+# tracing subsystem that hooks into it).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench quick
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The SPMD machine runs every virtual processor as a goroutine and the
+# tracer writes per-rank logs from all of them; these are the packages
+# where a data race would hide.
+race:
+	$(GO) test -race ./internal/comm/... ./internal/trace/...
+
+check: build vet test race
+
+# Modeled-machine benchmarks (send path allocation counts included).
+bench:
+	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
+
+# Small-size smoke run of every experiment.
+quick:
+	$(GO) run ./cmd/cgbench -quick

@@ -9,6 +9,7 @@
 //	hpfrun -np 4 -matrix banded:512:4 figure2.hpf
 //	hpfrun -np 8 -matrix powerlawc:2000:1 -demo balanced
 //	hpfrun -np 4 -matrix banded:512:4 -demo csc-merge -commmatrix
+//	hpfrun -np 4 -matrix banded:512:4 -demo csr -timeout 30s
 package main
 
 import (
@@ -61,6 +62,7 @@ func main() {
 		tol        = flag.Float64("tol", 1e-10, "relative residual tolerance")
 		demo       = flag.String("demo", "", "built-in directive program: csr | csc-serial | csc-merge | balanced")
 		commMatrix = flag.Bool("commmatrix", false, "print the communication matrix")
+		timeout    = flag.Duration("timeout", 0, "abort a deadlocked SPMD solve after this long (0 = wait forever)")
 	)
 	flag.Parse()
 
@@ -113,7 +115,12 @@ func main() {
 		fatal(err)
 	}
 	m := comm.NewMachine(*np, topo, topology.DefaultCostParams())
-	res, err := hpfexec.SolveCG(m, plan, A, b, core.Options{Tol: *tol})
+	var res *hpfexec.Result
+	if *timeout > 0 {
+		res, err = hpfexec.SolveCGTimeout(m, plan, A, b, core.Options{Tol: *tol}, *timeout)
+	} else {
+		res, err = hpfexec.SolveCG(m, plan, A, b, core.Options{Tol: *tol})
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"hpfcg/internal/comm"
 	"hpfcg/internal/report"
 	"hpfcg/internal/topology"
+	"hpfcg/internal/trace"
 )
 
 // Config controls experiment scale and the simulated machine.
@@ -25,6 +26,11 @@ type Config struct {
 	Cost topology.CostParams
 	// Seed makes the synthetic matrices reproducible.
 	Seed int64
+	// Tracer, when non-nil, is attached to every machine the
+	// experiment builds: each Machine.Run deposits a trace.Recorder on
+	// it, so any experiment gains event-level drill-down (see
+	// cmd/hpftrace) without the runner knowing about tracing.
+	Tracer *trace.Tracer
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md
@@ -38,7 +44,11 @@ func DefaultConfig() Config {
 }
 
 func (c Config) machine(np int) *comm.Machine {
-	return comm.NewMachine(np, c.Topo, c.Cost)
+	m := comm.NewMachine(np, c.Topo, c.Cost)
+	if c.Tracer != nil {
+		m.AttachTracer(c.Tracer)
+	}
+	return m
 }
 
 // pick returns small when cfg.Quick and full otherwise.

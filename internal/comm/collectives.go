@@ -42,6 +42,7 @@ func (op ReduceOp) combine(dst, src []float64) {
 // Barrier blocks until all processors have entered it. It uses the
 // dissemination algorithm: ceil(log2 NP) rounds of shifted exchanges.
 func (p *Proc) Barrier() {
+	defer p.collEnd("barrier", p.clock)
 	tag := p.nextTag(opBarrier)
 	np := p.m.np
 	for k := 1; k < np; k <<= 1 {
@@ -56,6 +57,7 @@ func (p *Proc) Barrier() {
 // tree (ceil(log2 NP) message steps, the t_s*log NP pattern of §4).
 // root passes the data; every rank returns it.
 func (p *Proc) Bcast(root int, pl Payload) Payload {
+	defer p.collEnd("bcast", p.clock)
 	tag := p.nextTag(opBcast)
 	np := p.m.np
 	if root < 0 || root >= np {
@@ -117,6 +119,7 @@ func (p *Proc) BcastInt(root int, x int) int {
 // binomial tree. The result is returned at root; other ranks get nil.
 // x is not modified.
 func (p *Proc) Reduce(root int, x []float64, op ReduceOp) []float64 {
+	defer p.collEnd("reduce", p.clock)
 	tag := p.nextTag(opReduce)
 	np := p.m.np
 	if root < 0 || root >= np {
@@ -149,6 +152,7 @@ func (p *Proc) Reduce(root int, x []float64, op ReduceOp) []float64 {
 // the "merge phase" of the paper's inner products: t_s*log NP
 // communication for the scalar case.
 func (p *Proc) Allreduce(x []float64, op ReduceOp) []float64 {
+	defer p.collEnd("allreduce", p.clock)
 	res := p.Reduce(0, x, op)
 	return p.BcastFloats(0, res)
 }
@@ -186,6 +190,7 @@ func offsetsOf(counts []int) []int {
 // must have length counts[rank]. root returns the concatenation; other
 // ranks return nil.
 func (p *Proc) GatherV(root int, local []float64, counts []int) []float64 {
+	defer p.collEnd("gatherv", p.clock)
 	tag := p.nextTag(opGather)
 	np := p.m.np
 	total := checkCounts(counts, np)
@@ -215,6 +220,7 @@ func (p *Proc) GatherV(root int, local []float64, counts []int) []float64 {
 // ScatterV is the inverse of GatherV: root holds the concatenation and
 // every rank receives its counts[rank]-sized block.
 func (p *Proc) ScatterV(root int, full []float64, counts []int) []float64 {
+	defer p.collEnd("scatterv", p.clock)
 	tag := p.nextTag(opScatter)
 	np := p.m.np
 	total := checkCounts(counts, np)
@@ -244,6 +250,7 @@ func (p *Proc) ScatterV(root int, full []float64, counts []int) []float64 {
 // doubling block sizes and single-hop hypercube partners); otherwise
 // it falls back to the (NP-1)-step ring.
 func (p *Proc) AllgatherV(local []float64, counts []int) []float64 {
+	defer p.collEnd("allgatherv", p.clock)
 	tag := p.nextTag(opAllgather)
 	np := p.m.np
 	total := checkCounts(counts, np)
@@ -283,6 +290,7 @@ func (p *Proc) AllgatherV(local []float64, counts []int) []float64 {
 
 // AllgatherVInts is AllgatherV for int blocks.
 func (p *Proc) AllgatherVInts(local []int, counts []int) []int {
+	defer p.collEnd("allgatherv-ints", p.clock)
 	tag := p.nextTag(opAllgather)
 	np := p.m.np
 	total := checkCounts(counts, np)
@@ -311,6 +319,7 @@ func (p *Proc) AllgatherVInts(local []int, counts []int) []int {
 // and the returned slice holds what each rank sent to us (indexed by
 // source rank). segments[rank] is passed through (copied) untouched.
 func (p *Proc) AlltoallV(segments [][]float64) [][]float64 {
+	defer p.collEnd("alltoallv", p.clock)
 	tag := p.nextTag(opAlltoall)
 	np := p.m.np
 	if len(segments) != np {
@@ -341,6 +350,7 @@ func (p *Proc) AlltoallV(segments [][]float64) [][]float64 {
 // Scenario 1's broadcast, matching the paper's observation that the two
 // partitionings have equal communication time.
 func (p *Proc) ReduceScatterSum(full []float64, counts []int) []float64 {
+	defer p.collEnd("reduce-scatter", p.clock)
 	np := p.m.np
 	total := checkCounts(counts, np)
 	if len(full) != total {

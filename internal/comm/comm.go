@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"hpfcg/internal/topology"
+	"hpfcg/internal/trace"
 )
 
 // Payload is the unit of data exchanged between processors. A message
@@ -45,9 +46,10 @@ type message struct {
 // interconnection topology and cost parameters. A Machine is reusable:
 // each Run gets fresh mailboxes.
 type Machine struct {
-	np   int
-	topo topology.Topology
-	cost topology.CostParams
+	np     int
+	topo   topology.Topology
+	cost   topology.CostParams
+	tracer *trace.Tracer
 }
 
 // NewMachine creates a machine of np processors connected by topo and
@@ -68,10 +70,20 @@ func (m *Machine) Topology() topology.Topology { return m.topo }
 // Cost returns the machine's cost parameters.
 func (m *Machine) Cost() topology.CostParams { return m.cost }
 
+// AttachTracer connects an event tracer: every subsequent Run records
+// its sends, receives, compute spans, and collective spans into a
+// fresh trace.Recorder deposited on t (one per run, labeled in start
+// order). A nil tracer — the default — keeps tracing disabled with
+// zero overhead on the communication paths. AttachTracer must not be
+// called concurrently with Run.
+func (m *Machine) AttachTracer(t *trace.Tracer) { m.tracer = t }
+
 // ProcStats accumulates per-processor accounting during a Run.
 type ProcStats struct {
 	MsgsSent    int64   // point-to-point messages sent
 	BytesSent   int64   // modeled bytes sent
+	MsgsRecv    int64   // point-to-point messages received
+	BytesRecv   int64   // modeled bytes received
 	Flops       int64   // floating-point operations charged via Compute
 	SendTime    float64 // modeled time spent in send overheads
 	WaitTime    float64 // modeled time spent waiting for messages
@@ -84,8 +96,14 @@ type RunStats struct {
 	Procs      []ProcStats // per-rank accounting
 	TotalMsgs  int64
 	TotalBytes int64
-	TotalFlops int64
-	MaxFlops   int64 // flops on the most loaded processor
+	// TotalMsgsRecv/TotalBytesRecv count the receive side; they equal
+	// the send-side totals when every message was consumed, and the
+	// difference is the number of messages a buggy program left
+	// undelivered in the mailboxes.
+	TotalMsgsRecv  int64
+	TotalBytesRecv int64
+	TotalFlops     int64
+	MaxFlops       int64 // flops on the most loaded processor
 	// BytesMatrix[src][dst] is the modeled bytes sent from src to dst —
 	// the communication matrix, which makes the difference between a
 	// broadcast pattern (dense matrix) and a halo exchange (banded
@@ -194,11 +212,19 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 		}
 	}
 
+	var rec *trace.Recorder
+	if m.tracer != nil {
+		rec = m.tracer.StartRun(m.np)
+	}
+
 	procs := make([]*Proc, m.np)
 	panics := make([]any, m.np)
 	var wg sync.WaitGroup
 	for r := 0; r < m.np; r++ {
 		p := &Proc{m: m, rc: rc, rank: r}
+		if rec != nil {
+			p.tr = rec.Rank(r)
+		}
 		procs[r] = p
 		wg.Add(1)
 		go func(rank int) {
@@ -242,10 +268,15 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 		}
 		rs.TotalMsgs += p.stats.MsgsSent
 		rs.TotalBytes += p.stats.BytesSent
+		rs.TotalMsgsRecv += p.stats.MsgsRecv
+		rs.TotalBytesRecv += p.stats.BytesRecv
 		rs.TotalFlops += p.stats.Flops
 		if p.stats.Flops > rs.MaxFlops {
 			rs.MaxFlops = p.stats.Flops
 		}
+	}
+	if rec != nil {
+		rec.Seal(rs.ModelTime)
 	}
 	return rs
 }
@@ -259,6 +290,7 @@ type Proc struct {
 	clock float64
 	seq   int // collective sequence number, for tag matching
 	stats ProcStats
+	tr    *trace.RankLog // nil unless a tracer is attached
 }
 
 // Rank returns this processor's rank in [0, NP).
@@ -278,10 +310,24 @@ func (p *Proc) Compute(flops int) {
 	if flops <= 0 {
 		return
 	}
+	start := p.clock
 	dt := float64(flops) * p.m.cost.TFlop
 	p.clock += dt
 	p.stats.ComputeTime += dt
 	p.stats.Flops += int64(flops)
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: flops, Start: start, End: p.clock})
+	}
+}
+
+// collEnd records a collective span [start, now) when tracing is on.
+// Collectives call it via `defer p.collEnd(op, p.clock)`, which pins
+// start at entry time while End reads the clock at return — including
+// on the early-return paths of the tree algorithms.
+func (p *Proc) collEnd(op string, start float64) {
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindCollective, Peer: -1, Op: op, Start: start, End: p.clock})
+	}
 }
 
 // maxUserTag bounds user point-to-point tags; collective traffic uses
@@ -298,6 +344,7 @@ func (p *Proc) Send(dst, tag int, pl Payload) {
 	if dst == p.rank {
 		panic("comm: Send to self")
 	}
+	start := p.clock
 	p.clock += p.m.cost.TStartup
 	p.stats.SendTime += p.m.cost.TStartup
 	p.stats.MsgsSent++
@@ -308,6 +355,9 @@ func (p *Proc) Send(dst, tag int, pl Payload) {
 		pl:     pl,
 		depart: p.clock,
 		hops:   p.m.topo.Distance(p.rank, dst, p.m.np),
+	}
+	if p.tr != nil {
+		p.tr.Add(trace.Event{Kind: trace.KindSend, Peer: dst, Tag: tag, Bytes: pl.Bytes(), Start: start, End: p.clock})
 	}
 	select {
 	case p.rc.mail[p.rank][dst] <- msg:
@@ -327,6 +377,7 @@ func (p *Proc) Recv(src, tag int) Payload {
 	if src == p.rank {
 		panic("comm: Recv from self")
 	}
+	start := p.clock
 	var msg message
 	select {
 	case msg = <-p.rc.mail[src][p.rank]:
@@ -349,6 +400,14 @@ func (p *Proc) Recv(src, tag int) Payload {
 	body := float64(msg.pl.Bytes()) * p.m.cost.TByte
 	p.clock += body
 	p.stats.WaitTime += body
+	p.stats.MsgsRecv++
+	p.stats.BytesRecv += int64(msg.pl.Bytes())
+	if p.tr != nil {
+		p.tr.Add(trace.Event{
+			Kind: trace.KindRecv, Peer: src, Tag: msg.tag, Bytes: msg.pl.Bytes(),
+			Start: start, End: p.clock, Depart: msg.depart, Head: head,
+		})
+	}
 	return msg.pl
 }
 

@@ -6,6 +6,7 @@ import "fmt"
 // inspector-executor schedule construction, where processors exchange
 // the index lists they need from each other).
 func (p *Proc) AlltoallVInts(segments [][]int) [][]int {
+	defer p.collEnd("alltoallv-ints", p.clock)
 	tag := p.nextTag(opAlltoall)
 	np := p.m.np
 	if len(segments) != np {
@@ -73,6 +74,7 @@ func (g Group) Index() int { return g.me }
 // BcastFloats broadcasts x from the member with index rootIdx to every
 // group member using a binomial tree within the group.
 func (g Group) BcastFloats(p *Proc, rootIdx int, x []float64) []float64 {
+	defer p.collEnd("group-bcast", p.clock)
 	tag := p.nextTag(opBcast)
 	n := len(g.ranks)
 	if rootIdx < 0 || rootIdx >= n {
@@ -111,6 +113,7 @@ func (g Group) BcastFloats(p *Proc, rootIdx int, x []float64) []float64 {
 // ReduceSumFloats combines x element-wise (sum) onto the member with
 // index rootIdx, which receives the total; other members return nil.
 func (g Group) ReduceSumFloats(p *Proc, rootIdx int, x []float64) []float64 {
+	defer p.collEnd("group-reduce", p.clock)
 	tag := p.nextTag(opReduce)
 	n := len(g.ranks)
 	if rootIdx < 0 || rootIdx >= n {
@@ -141,6 +144,7 @@ func (g Group) ReduceSumFloats(p *Proc, rootIdx int, x []float64) []float64 {
 // AllreduceSumFloats sums x across the group and returns the result on
 // every member (reduce to index 0, then broadcast).
 func (g Group) AllreduceSumFloats(p *Proc, x []float64) []float64 {
+	defer p.collEnd("group-allreduce", p.clock)
 	res := g.ReduceSumFloats(p, 0, x)
 	return g.BcastFloats(p, 0, res)
 }

@@ -19,6 +19,7 @@ package hpfexec
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/core"
@@ -57,18 +58,45 @@ type Result struct {
 // plan. A is the runtime matrix (CSR form; converted as the declared
 // storage format requires), b the right-hand side.
 func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (*Result, error) {
+	fn, finish, err := prepareCG(m, plan, A, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	return finish(m.Run(fn))
+}
+
+// SolveCGTimeout is SolveCG under a deadlock watchdog: if the SPMD
+// solve does not finish within d (wall time), the run is aborted and
+// the machine's deadlock diagnostic is returned instead of hanging —
+// the safety net cmd/hpfrun's -timeout flag routes through.
+func SolveCGTimeout(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, d time.Duration) (*Result, error) {
+	fn, finish, err := prepareCG(m, plan, A, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.RunTimeout(fn, d)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
+}
+
+// prepareCG validates the plan against the matrix and builds the SPMD
+// body plus the post-run assembly, so SolveCG and SolveCGTimeout share
+// everything but the Run call.
+func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
 	if A.NRows != A.NCols {
-		return nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
+		return nil, nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
 	}
 	n := A.NRows
 	if len(b) != n {
-		return nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), n)
+		return nil, nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), n)
 	}
 	if plan.NP != m.NP() {
-		return nil, fmt.Errorf("hpfexec: plan bound for %d processors, machine has %d", plan.NP, m.NP())
+		return nil, nil, fmt.Errorf("hpfexec: plan bound for %d processors, machine has %d", plan.NP, m.NP())
 	}
 	if len(plan.Sparse) != 1 {
-		return nil, fmt.Errorf("hpfexec: need exactly one SPARSE_MATRIX declaration, have %d", len(plan.Sparse))
+		return nil, nil, fmt.Errorf("hpfexec: need exactly one SPARSE_MATRIX declaration, have %d", len(plan.Sparse))
 	}
 	var sm hpf.SparseMatrix
 	var smName string
@@ -81,11 +109,11 @@ func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt co
 	// n-sized array.
 	vecPlan, err := vectorRoot(plan, n)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	d, ok := vecPlan.Dist.(dist.Contiguous)
 	if !ok {
-		return nil, fmt.Errorf("hpfexec: vector distribution %s is not contiguous; the mat-vec scenarios need BLOCK-like mappings", vecPlan.Dist.Name())
+		return nil, nil, fmt.Errorf("hpfexec: vector distribution %s is not contiguous; the mat-vec scenarios need BLOCK-like mappings", vecPlan.Dist.Name())
 	}
 
 	strategy := Strategy{}
@@ -99,7 +127,7 @@ func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt co
 		}
 		_, atomCuts, err := plan.BindPartitioner(smName, ptr)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		d = dist.NewIrregular(atomCuts)
 		strategy.Balanced = true
@@ -132,13 +160,13 @@ func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt co
 			strategy.Mode = "serialized"
 		}
 	default:
-		return nil, fmt.Errorf("hpfexec: unsupported sparse format %q", sm.Format)
+		return nil, nil, fmt.Errorf("hpfexec: unsupported sparse format %q", sm.Format)
 	}
 
 	res := &Result{Strategy: strategy}
 	var solveErr error
 	var ghostChosen bool
-	run := m.Run(func(p *comm.Proc) {
+	fn := func(p *comm.Proc) {
 		var op spmv.Operator
 		switch sm.Format {
 		case "csr":
@@ -179,19 +207,22 @@ func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt co
 			res.X = full
 			res.Stats = st
 		}
-	})
-	if solveErr != nil {
-		return nil, solveErr
 	}
-	if sm.Format == "csr" {
-		if ghostChosen {
-			res.Strategy.Mode = "local(ghost)"
-		} else {
-			res.Strategy.Mode = "local(broadcast)"
+	finish := func(run comm.RunStats) (*Result, error) {
+		if solveErr != nil {
+			return nil, solveErr
 		}
+		if sm.Format == "csr" {
+			if ghostChosen {
+				res.Strategy.Mode = "local(ghost)"
+			} else {
+				res.Strategy.Mode = "local(broadcast)"
+			}
+		}
+		res.Run = run
+		return res, nil
 	}
-	res.Run = run
-	return res, nil
+	return fn, finish, nil
 }
 
 // vectorRoot finds the array plan that plays the role of p in

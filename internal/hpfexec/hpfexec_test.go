@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/core"
@@ -220,5 +221,31 @@ func TestSolveCGErrors(t *testing.T) {
 	delete(tiny.Arrays, "p") // ensure only col (nz-sized) remains
 	if _, err := SolveCG(machine(np), tiny, A, b, core.Options{}); err == nil {
 		t.Error("plan without vector arrays accepted")
+	}
+}
+
+// TestSolveCGTimeoutCompletes: a healthy solve under the watchdog
+// behaves exactly like SolveCG.
+func TestSolveCGTimeoutCompletes(t *testing.T) {
+	A := sparse.Laplace2D(12, 12)
+	b := sparse.RandomVector(A.NRows, 3)
+	np := 4
+	plan := bindPlan(t, csrPlan, A.NRows, A.NNZ(), np)
+	res, err := SolveCGTimeout(machine(np), plan, A, b, core.Options{Tol: 1e-10}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("not converged: %v", res.Stats)
+	}
+	if rr := relResidual(A, res.X, b); rr > 1e-8 {
+		t.Errorf("residual %g", rr)
+	}
+	plain, err := SolveCG(machine(np), plan, A, b, core.Options{Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Iterations != plain.Stats.Iterations {
+		t.Errorf("timeout path took %d iterations, plain path %d", res.Stats.Iterations, plain.Stats.Iterations)
 	}
 }

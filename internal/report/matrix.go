@@ -24,6 +24,31 @@ func BytesMatrixTable(title string, bytes [][]int64) *Table {
 	return t
 }
 
+// CountMatrixTable renders a plain count matrix (counts[src][dst]) as
+// a Table — same shape as BytesMatrixTable but with raw integers, for
+// message counts and other per-pair tallies (0 prints as ".").
+func CountMatrixTable(title string, counts [][]int64) *Table {
+	np := len(counts)
+	t := &Table{Title: title, Header: make([]string, np+1)}
+	t.Header[0] = "src\\dst"
+	for d := 0; d < np; d++ {
+		t.Header[d+1] = fmt.Sprintf("%d", d)
+	}
+	for s := 0; s < np; s++ {
+		row := make([]string, np+1)
+		row[0] = fmt.Sprintf("%d", s)
+		for d := 0; d < np; d++ {
+			if counts[s][d] == 0 {
+				row[d+1] = "."
+			} else {
+				row[d+1] = fmt.Sprintf("%d", counts[s][d])
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
 // humanBytes formats a byte count compactly (0 prints as "." to keep
 // sparse matrices readable).
 func humanBytes(b int64) string {

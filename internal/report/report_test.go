@@ -98,3 +98,28 @@ func TestBytesMatrixTable(t *testing.T) {
 		t.Errorf("matrix table shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
 	}
 }
+
+func TestCountMatrixTable(t *testing.T) {
+	m := [][]int64{
+		{0, 7},
+		{12345, 0},
+	}
+	tab := CountMatrixTable("messages", m)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Counts render raw (no K/M scaling); zeros render as ".".
+	for _, want := range []string{"src\\dst", "7", "12345", "."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("count table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "12K") {
+		t.Errorf("count table scaled a count:\n%s", out)
+	}
+	if len(tab.Rows) != 2 || len(tab.Rows[0]) != 3 {
+		t.Errorf("count table shape %dx%d", len(tab.Rows), len(tab.Rows[0]))
+	}
+}

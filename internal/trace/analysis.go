@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"fmt"
+
+	"hpfcg/internal/report"
+)
+
+// CommMatrix is the per-pair communication structure of one run:
+// point-to-point message counts and modeled bytes from each sender to
+// each receiver, reconstructed from the send events.
+type CommMatrix struct {
+	NP    int
+	Msgs  [][]int64 // Msgs[src][dst]
+	Bytes [][]int64 // Bytes[src][dst]
+}
+
+// Matrix builds the communication matrix of a recorded run.
+func Matrix(r *Recorder) CommMatrix {
+	np := r.np
+	cm := CommMatrix{NP: np, Msgs: make([][]int64, np), Bytes: make([][]int64, np)}
+	for s := 0; s < np; s++ {
+		cm.Msgs[s] = make([]int64, np)
+		cm.Bytes[s] = make([]int64, np)
+	}
+	for rank := 0; rank < np; rank++ {
+		for _, e := range r.logs[rank].events {
+			if e.Kind == KindSend {
+				cm.Msgs[rank][e.Peer]++
+				cm.Bytes[rank][e.Peer] += int64(e.Bytes)
+			}
+		}
+	}
+	return cm
+}
+
+// RowTotals returns per-sender byte totals (row sums of Bytes).
+func (cm CommMatrix) RowTotals() []int64 {
+	out := make([]int64, cm.NP)
+	for s := 0; s < cm.NP; s++ {
+		for d := 0; d < cm.NP; d++ {
+			out[s] += cm.Bytes[s][d]
+		}
+	}
+	return out
+}
+
+// ColTotals returns per-receiver byte totals (column sums of Bytes).
+func (cm CommMatrix) ColTotals() []int64 {
+	out := make([]int64, cm.NP)
+	for s := 0; s < cm.NP; s++ {
+		for d := 0; d < cm.NP; d++ {
+			out[d] += cm.Bytes[s][d]
+		}
+	}
+	return out
+}
+
+// Tables renders the matrix as report tables (bytes and message
+// counts), ready for the same renderers every experiment uses.
+func (cm CommMatrix) Tables(title string) []*report.Table {
+	return []*report.Table{
+		report.BytesMatrixTable(title+" — bytes", cm.Bytes),
+		report.CountMatrixTable(title+" — messages", cm.Msgs),
+	}
+}
+
+// PathStats describes the critical path of a run: the longest chain of
+// dependent work (compute spans, send overheads, and message network
+// delays) under the happens-before order. Its Length is a lower bound
+// on the modeled makespan — if the machine's cost model ever produced
+// a makespan below it, the model would be internally inconsistent —
+// and the gap between the two is the slack the schedule left on
+// non-critical processors.
+type PathStats struct {
+	// Length is the critical-path length in modeled seconds.
+	Length float64
+	// EndRank is the processor whose last dependent event ends the path.
+	EndRank int
+	// Events is the number of primitive events on the path.
+	Events int
+	// Compute, SendOverhead, and Network break Length into time spent
+	// in flop work, message start-ups, and network delay (head latency
+	// plus body transfer) along the path.
+	Compute      float64
+	SendOverhead float64
+	Network      float64
+}
+
+// String formats the breakdown on one line.
+func (ps PathStats) String() string {
+	return fmt.Sprintf("critical path %.6gs over %d events (compute %.6gs, send overhead %.6gs, network %.6gs), ends on rank %d",
+		ps.Length, ps.Events, ps.Compute, ps.SendOverhead, ps.Network, ps.EndRank)
+}
+
+// pathNode is one primitive event in the dependency DAG.
+type pathNode struct {
+	ev         Event
+	prev       int // program-order predecessor on the same rank, or -1
+	msgPred    int // for receives, the matching send's node index, or -1
+	completion float64
+	pred       int // predecessor chosen for the longest path, or -1
+	compute    float64
+	overhead   float64
+	network    float64
+}
+
+// CriticalPath computes the longest dependent chain of a recorded run.
+//
+// The DAG has one node per primitive event. Edges are (a) program
+// order within each rank and (b) message edges from each send to its
+// matching receive; the k-th receive on rank d from rank s matches the
+// k-th send from s to d, which is exact because the machine delivers
+// messages between a pair in FIFO order. A node's completion time is
+//
+//	compute/send: program-order predecessor's completion + own duration
+//	recv:         max(prev-on-rank, send completion + head latency)
+//	              + body transfer time
+//
+// where the head latency (Head-Depart) and the body time are recovered
+// from the event's recorded timestamps. The recurrence mirrors how the
+// machine's clock actually advances but drops every idle gap that is
+// not forced by a dependency, so completion[e] <= e.End for every
+// event and therefore Length <= ModelTime — an invariant the tests
+// assert over every collective, as a built-in consistency check of the
+// cost model.
+func CriticalPath(r *Recorder) PathStats {
+	type msgKey struct{ src, dst int }
+	nodes := make([]pathNode, 0, r.NumEvents())
+	rankNodes := make([][]int, r.np)
+	sendIdx := make(map[msgKey][]int)
+	for rank := 0; rank < r.np; rank++ {
+		prev := -1
+		for _, e := range r.primitives(rank) {
+			idx := len(nodes)
+			nodes = append(nodes, pathNode{ev: e, prev: prev, msgPred: -1, pred: -1})
+			rankNodes[rank] = append(rankNodes[rank], idx)
+			if e.Kind == KindSend {
+				k := msgKey{rank, e.Peer}
+				sendIdx[k] = append(sendIdx[k], idx)
+			}
+			prev = idx
+		}
+	}
+	// Resolve message edges (FIFO matching per source/destination pair).
+	recvCount := make(map[msgKey]int)
+	for rank := 0; rank < r.np; rank++ {
+		for _, idx := range rankNodes[rank] {
+			e := nodes[idx].ev
+			if e.Kind != KindRecv {
+				continue
+			}
+			k := msgKey{e.Peer, rank}
+			seq := recvCount[k]
+			recvCount[k] = seq + 1
+			sends := sendIdx[k]
+			if seq >= len(sends) {
+				panic(fmt.Sprintf("trace: rank %d receive #%d from %d has no matching send event", rank, seq, e.Peer))
+			}
+			nodes[idx].msgPred = sends[seq]
+		}
+	}
+
+	// Longest-path sweep in topological order (Kahn's algorithm over
+	// the program-order and message edges). A trace of a completed run
+	// is acyclic by construction — a cycle would have deadlocked the
+	// machine — so the worklist drains completely.
+	succs := make([][]int, len(nodes))
+	indeg := make([]int, len(nodes))
+	addEdge := func(from, to int) {
+		succs[from] = append(succs[from], to)
+		indeg[to]++
+	}
+	for i := range nodes {
+		if nodes[i].prev >= 0 {
+			addEdge(nodes[i].prev, i)
+		}
+		if nodes[i].msgPred >= 0 {
+			addEdge(nodes[i].msgPred, i)
+		}
+	}
+	queue := make([]int, 0, len(nodes))
+	for i := range nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	processed := 0
+	for len(queue) > 0 {
+		idx := queue[0]
+		queue = queue[1:]
+		processed++
+		n := &nodes[idx]
+		e := n.ev
+		start := 0.0
+		if n.prev >= 0 {
+			start = nodes[n.prev].completion
+			n.pred = n.prev
+		}
+		switch e.Kind {
+		case KindCompute:
+			n.completion = start + e.Duration()
+			n.compute = e.Duration()
+		case KindSend:
+			n.completion = start + e.Duration()
+			n.overhead = e.Duration()
+		case KindRecv:
+			latency := e.Head - e.Depart
+			body := e.End - e.Start
+			if e.Head > e.Start {
+				body = e.End - e.Head
+			}
+			arrive := nodes[n.msgPred].completion + latency
+			n.network = body
+			if arrive > start {
+				n.pred = n.msgPred
+				start = arrive
+				n.network = latency + body
+			}
+			n.completion = start + body
+		}
+		for _, s := range succs[idx] {
+			if indeg[s]--; indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+		}
+	}
+	if processed != len(nodes) {
+		panic(fmt.Sprintf("trace: dependency cycle in trace (%d of %d events resolved)", processed, len(nodes)))
+	}
+
+	var ps PathStats
+	end := -1
+	for i := range nodes {
+		if nodes[i].completion > ps.Length {
+			ps.Length = nodes[i].completion
+			end = i
+		}
+	}
+	if end < 0 {
+		return ps
+	}
+	ps.EndRank = nodes[end].ev.Rank
+	for i := end; i >= 0; i = nodes[i].pred {
+		ps.Events++
+		ps.Compute += nodes[i].compute
+		ps.SendOverhead += nodes[i].overhead
+		ps.Network += nodes[i].network
+	}
+	return ps
+}

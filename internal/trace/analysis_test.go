@@ -1,0 +1,98 @@
+package trace_test
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/trace"
+)
+
+// handBuilt constructs a two-rank trace by hand, mimicking the machine
+// semantics: rank 0 computes 2s then spends 1s of send startup
+// (depart 3.0); the head reaches rank 1 at 3.5 and the body takes
+// 0.5s; rank 1 computed 1s first and computes 1s more after the
+// receive. The only dependent chain is 2+1+0.5+0.5+1 = 5s.
+func handBuilt() *trace.Recorder {
+	r := trace.NewRecorder(2)
+	r.Rank(0).Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: 200, Start: 0, End: 2})
+	r.Rank(0).Add(trace.Event{Kind: trace.KindSend, Peer: 1, Tag: 5, Bytes: 40, Start: 2, End: 3})
+	r.Rank(1).Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: 100, Start: 0, End: 1})
+	r.Rank(1).Add(trace.Event{Kind: trace.KindRecv, Peer: 0, Tag: 5, Bytes: 40, Start: 1, End: 4, Depart: 3, Head: 3.5})
+	r.Rank(1).Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: 100, Start: 4, End: 5})
+	r.Seal(5)
+	return r
+}
+
+func TestCriticalPathExactValue(t *testing.T) {
+	ps := trace.CriticalPath(handBuilt())
+	if math.Abs(ps.Length-5) > 1e-15 {
+		t.Errorf("Length = %g, want 5", ps.Length)
+	}
+	if ps.EndRank != 1 {
+		t.Errorf("EndRank = %d, want 1", ps.EndRank)
+	}
+	// Path: compute(2) -> send(1) -> recv(latency .5 + body .5) ->
+	// compute(1); rank 1's first compute is slack, not on the path.
+	if ps.Events != 4 {
+		t.Errorf("Events = %d, want 4", ps.Events)
+	}
+	if math.Abs(ps.Compute-3) > 1e-15 || math.Abs(ps.SendOverhead-1) > 1e-15 || math.Abs(ps.Network-1) > 1e-15 {
+		t.Errorf("breakdown = compute %g, overhead %g, network %g; want 3/1/1", ps.Compute, ps.SendOverhead, ps.Network)
+	}
+	if sum := ps.Compute + ps.SendOverhead + ps.Network; math.Abs(sum-ps.Length) > 1e-15 {
+		t.Errorf("breakdown sum %g != length %g", sum, ps.Length)
+	}
+}
+
+// TestCriticalPathIgnoresNonBindingArrival: if the receiver was still
+// busy when the message head arrived, the message edge is not on the
+// path and only the body transfer is charged.
+func TestCriticalPathIgnoresNonBindingArrival(t *testing.T) {
+	r := trace.NewRecorder(2)
+	r.Rank(0).Add(trace.Event{Kind: trace.KindSend, Peer: 1, Tag: 1, Bytes: 8, Start: 0, End: 0.1})
+	// Rank 1 computes until 3.0, far past the head arrival at 0.2.
+	r.Rank(1).Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: 10, Start: 0, End: 3})
+	r.Rank(1).Add(trace.Event{Kind: trace.KindRecv, Peer: 0, Tag: 1, Bytes: 8, Start: 3, End: 3.4, Depart: 0.1, Head: 0.2})
+	r.Seal(3.4)
+	ps := trace.CriticalPath(r)
+	if math.Abs(ps.Length-3.4) > 1e-15 {
+		t.Errorf("Length = %g, want 3.4", ps.Length)
+	}
+	// compute 3 + body 0.4; the send and the head latency are slack.
+	if math.Abs(ps.Compute-3) > 1e-15 || ps.SendOverhead != 0 || math.Abs(ps.Network-0.4) > 1e-15 {
+		t.Errorf("breakdown = %+v", ps)
+	}
+}
+
+func TestMatrixFromHandBuiltTrace(t *testing.T) {
+	cm := trace.Matrix(handBuilt())
+	if cm.Msgs[0][1] != 1 || cm.Bytes[0][1] != 40 {
+		t.Errorf("matrix[0][1] = %d msgs / %d bytes, want 1/40", cm.Msgs[0][1], cm.Bytes[0][1])
+	}
+	if got := cm.RowTotals(); got[0] != 40 || got[1] != 0 {
+		t.Errorf("RowTotals = %v", got)
+	}
+	if got := cm.ColTotals(); got[0] != 0 || got[1] != 40 {
+		t.Errorf("ColTotals = %v", got)
+	}
+}
+
+func TestCriticalPathEmptyTrace(t *testing.T) {
+	r := trace.NewRecorder(3)
+	r.Seal(0)
+	ps := trace.CriticalPath(r)
+	if ps.Length != 0 || ps.Events != 0 {
+		t.Errorf("empty trace: %+v", ps)
+	}
+}
+
+func TestCriticalPathUnmatchedRecvPanics(t *testing.T) {
+	r := trace.NewRecorder(2)
+	r.Rank(1).Add(trace.Event{Kind: trace.KindRecv, Peer: 0, Tag: 1, Bytes: 8, Start: 0, End: 1, Depart: 0, Head: 0.5})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for a receive with no matching send")
+		}
+	}()
+	trace.CriticalPath(r)
+}

@@ -1,0 +1,132 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ChromeEvent is one entry of the Chrome/Perfetto trace event format
+// (the "trace.json" schema chrome://tracing and ui.perfetto.dev load).
+// Timestamps and durations are microseconds of the *modeled* clock.
+type ChromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeTrace is the top-level trace.json document.
+type ChromeTrace struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	// Metadata recorded for humans reading the raw file.
+	OtherData map[string]any `json:"otherData,omitempty"`
+}
+
+const usec = 1e6 // modeled seconds -> microseconds
+
+// BuildChromeTrace converts a recorded run into the Chrome trace
+// document: one complete ("X") event per span — compute, send
+// overhead, receive, and collective — on thread id = rank, plus a
+// flow-event pair ("s"/"f") per matched message so the viewer draws
+// the message arrow from sender to receiver.
+func BuildChromeTrace(r *Recorder) ChromeTrace {
+	doc := ChromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"np":           r.np,
+			"label":        r.label,
+			"modelTimeSec": r.mtime,
+			"clock":        "modeled (Kumar cost model), not wall time",
+		},
+	}
+	type msgKey struct{ src, dst int }
+	// Flow ids must agree between the send ("s") and finish ("f")
+	// halves; number matched pairs with the same FIFO rule the
+	// critical-path analysis uses.
+	sendFlow := make(map[msgKey][]int)
+	nextFlow := 1
+	for rank := 0; rank < r.np; rank++ {
+		for _, e := range r.logs[rank].events {
+			switch e.Kind {
+			case KindCompute:
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: "compute", Cat: "compute", Ph: "X",
+					Ts: e.Start * usec, Dur: e.Duration() * usec,
+					Pid: 0, Tid: rank,
+					Args: map[string]any{"flops": e.Flops},
+				})
+			case KindSend:
+				k := msgKey{rank, e.Peer}
+				id := nextFlow
+				nextFlow++
+				sendFlow[k] = append(sendFlow[k], id)
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: fmt.Sprintf("send→%d", e.Peer), Cat: "send", Ph: "X",
+					Ts: e.Start * usec, Dur: e.Duration() * usec,
+					Pid: 0, Tid: rank,
+					Args: map[string]any{"bytes": e.Bytes, "tag": e.Tag, "dst": e.Peer},
+				})
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: "msg", Cat: "msg", Ph: "s",
+					Ts: e.End * usec, Pid: 0, Tid: rank, ID: id,
+				})
+			case KindCollective:
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: e.Op, Cat: "collective", Ph: "X",
+					Ts: e.Start * usec, Dur: e.Duration() * usec,
+					Pid: 0, Tid: rank,
+				})
+			}
+		}
+	}
+	// Receives in a second pass so every flow id exists before its
+	// finish half references it (the viewer does not require this
+	// ordering, but it keeps the file self-checking).
+	recvCount := make(map[msgKey]int)
+	for rank := 0; rank < r.np; rank++ {
+		for _, e := range r.logs[rank].events {
+			if e.Kind != KindRecv {
+				continue
+			}
+			k := msgKey{e.Peer, rank}
+			seq := recvCount[k]
+			recvCount[k] = seq + 1
+			doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+				Name: fmt.Sprintf("recv←%d", e.Peer), Cat: "recv", Ph: "X",
+				Ts: e.Start * usec, Dur: e.Duration() * usec,
+				Pid: 0, Tid: rank,
+				Args: map[string]any{"bytes": e.Bytes, "tag": e.Tag, "src": e.Peer},
+			})
+			if seq < len(sendFlow[k]) {
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: "msg", Cat: "msg", Ph: "f", BP: "e",
+					Ts: e.End * usec, Pid: 0, Tid: rank, ID: sendFlow[k][seq],
+				})
+			}
+		}
+	}
+	// Name the threads rank 0..np-1 so the viewer labels tracks.
+	for rank := 0; rank < r.np; rank++ {
+		doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+			Name: "thread_name", Cat: "__metadata", Ph: "M",
+			Pid: 0, Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+	}
+	return doc
+}
+
+// WriteChromeTrace writes the run as indented trace.json.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(BuildChromeTrace(r))
+}

@@ -1,0 +1,170 @@
+package trace_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+	"hpfcg/internal/trace"
+)
+
+// runCSRSpMV is the acceptance-criterion workload: the row-block CSR
+// sparse mat-vec (the paper's Scenario 1) with tracing attached.
+func runCSRSpMV(t *testing.T, np int) (comm.RunStats, *trace.Recorder) {
+	t.Helper()
+	n := 256
+	A := sparse.Banded(n, 4)
+	d := dist.NewBlock(n, np)
+	m := comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams())
+	tr := &trace.Tracer{}
+	m.AttachTracer(tr)
+	rs := m.Run(func(p *comm.Proc) {
+		op := spmv.NewRowBlockCSR(p, A, d)
+		x := darray.New(p, d)
+		y := darray.New(p, d)
+		x.Fill(1)
+		op.Apply(x, y)
+	})
+	return rs, tr.Runs()[0]
+}
+
+// TestChromeTraceRoundTripsCSRSpMV writes the Chrome trace.json for a
+// traced CSR SpMV run, parses it back through encoding/json, and
+// checks the event counts against the recorder and the machine stats.
+func TestChromeTraceRoundTripsCSRSpMV(t *testing.T) {
+	np := 4
+	rs, rec := runCSRSpMV(t, np)
+
+	var buf bytes.Buffer
+	if err := trace.WriteChromeTrace(&buf, rec); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc trace.ChromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("round-trip unmarshal: %v", err)
+	}
+
+	byPh := map[string]int{}
+	byCat := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		byPh[ev.Ph]++
+		byCat[ev.Cat]++
+		if ev.Tid < 0 || ev.Tid >= np {
+			t.Errorf("event %q on tid %d outside [0,%d)", ev.Name, ev.Tid, np)
+		}
+		if ev.Ph == "X" && ev.Dur < 0 {
+			t.Errorf("event %q has negative duration %g", ev.Name, ev.Dur)
+		}
+	}
+	// One complete ("X") event per recorded event, one flow start per
+	// send, one flow finish per (matched) recv, one metadata entry per
+	// rank.
+	if byPh["X"] != rec.NumEvents() {
+		t.Errorf(`%d "X" events, want %d (one per recorded event)`, byPh["X"], rec.NumEvents())
+	}
+	if int64(byPh["s"]) != rs.TotalMsgs {
+		t.Errorf(`%d flow starts, want %d (TotalMsgs)`, byPh["s"], rs.TotalMsgs)
+	}
+	if int64(byPh["f"]) != rs.TotalMsgsRecv {
+		t.Errorf(`%d flow finishes, want %d (TotalMsgsRecv)`, byPh["f"], rs.TotalMsgsRecv)
+	}
+	if byPh["M"] != np {
+		t.Errorf(`%d metadata events, want %d`, byPh["M"], np)
+	}
+	if int64(byCat["send"]) != rs.TotalMsgs || int64(byCat["recv"]) != rs.TotalMsgsRecv {
+		t.Errorf("send/recv span counts %d/%d, want %d/%d",
+			byCat["send"], byCat["recv"], rs.TotalMsgs, rs.TotalMsgsRecv)
+	}
+	if byCat["collective"] == 0 {
+		t.Error("no collective spans in the CSR SpMV trace (allgather expected)")
+	}
+	if total := byPh["X"] + byPh["s"] + byPh["f"] + byPh["M"]; total != len(doc.TraceEvents) {
+		t.Errorf("unexpected event phases: %v", byPh)
+	}
+	if doc.DisplayTimeUnit == "" {
+		t.Error("missing displayTimeUnit")
+	}
+}
+
+// TestMatrixMatchesRunStatsCSRSpMV is the other half of the acceptance
+// criterion: per-rank byte totals of the trace-derived matrix equal
+// the ProcStats aggregates, and the whole matrix equals the machine's
+// own BytesMatrix.
+func TestMatrixMatchesRunStatsCSRSpMV(t *testing.T) {
+	for _, np := range []int{2, 4, 8} {
+		rs, rec := runCSRSpMV(t, np)
+		cm := trace.Matrix(rec)
+		rows, cols := cm.RowTotals(), cm.ColTotals()
+		for r := 0; r < np; r++ {
+			if rows[r] != rs.Procs[r].BytesSent {
+				t.Errorf("np=%d rank %d: row total %d != BytesSent %d", np, r, rows[r], rs.Procs[r].BytesSent)
+			}
+			if cols[r] != rs.Procs[r].BytesRecv {
+				t.Errorf("np=%d rank %d: col total %d != BytesRecv %d", np, r, cols[r], rs.Procs[r].BytesRecv)
+			}
+			for d2 := 0; d2 < np; d2++ {
+				if cm.Bytes[r][d2] != rs.BytesMatrix[r][d2] {
+					t.Errorf("np=%d: trace matrix[%d][%d]=%d != machine matrix %d",
+						np, r, d2, cm.Bytes[r][d2], rs.BytesMatrix[r][d2])
+				}
+			}
+		}
+		ps := trace.CriticalPath(rec)
+		if ps.Length > rs.ModelTime+1e-12 {
+			t.Errorf("np=%d: critical path %g exceeds makespan %g", np, ps.Length, rs.ModelTime)
+		}
+	}
+}
+
+func TestTimelineRendersEveryRank(t *testing.T) {
+	_, rec := runCSRSpMV(t, 4)
+	var buf bytes.Buffer
+	if err := trace.WriteTimeline(&buf, rec, 60); err != nil {
+		t.Fatalf("WriteTimeline: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"r0", "r1", "r2", "r3", "legend:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+	// The SpMV allgather both sends and computes, so the timeline must
+	// show communication and compute activity somewhere.
+	if !strings.ContainsAny(out, "sr") || !strings.Contains(out, "C") {
+		t.Errorf("timeline shows no comm or compute activity:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var rowLens []int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "r") && strings.Contains(l, "|") {
+			rowLens = append(rowLens, len(l))
+		}
+	}
+	if len(rowLens) != 4 {
+		t.Fatalf("expected 4 rank rows, got %d", len(rowLens))
+	}
+	for _, l := range rowLens {
+		if l != rowLens[0] {
+			t.Errorf("ragged timeline rows: %v", rowLens)
+		}
+	}
+}
+
+func TestTimelineEmptyRun(t *testing.T) {
+	rec := trace.NewRecorder(2)
+	rec.Seal(0)
+	var buf bytes.Buffer
+	if err := trace.WriteTimeline(&buf, rec, 40); err != nil {
+		t.Fatalf("WriteTimeline on empty run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "empty timeline") {
+		t.Errorf("unexpected empty-run output: %q", buf.String())
+	}
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Timeline activity codes, in increasing display priority: when two
+// activities overlap inside one bucket the higher-priority character
+// wins, so a bucket that contains any compute shows compute.
+const (
+	tlIdle    = '.'
+	tlWait    = 'w' // receiver blocked waiting for a message head
+	tlSend    = 's' // send start-up overhead
+	tlRecv    = 'r' // message body transfer into this rank
+	tlCompute = 'C'
+)
+
+var tlPriority = map[rune]int{tlIdle: 0, tlWait: 1, tlSend: 2, tlRecv: 3, tlCompute: 4}
+
+// WriteTimeline renders the run as an ASCII per-rank timeline, one row
+// per processor and width buckets across [0, ModelTime]. It is the
+// quick-look companion to the Chrome export: `C` compute, `r` receive
+// transfer, `s` send overhead, `w` waiting, `.` idle.
+func WriteTimeline(w io.Writer, r *Recorder, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	total := r.mtime
+	if total <= 0 {
+		// Unsealed or empty run: fall back to the latest event end.
+		for rank := 0; rank < r.np; rank++ {
+			for _, e := range r.logs[rank].events {
+				if e.End > total {
+					total = e.End
+				}
+			}
+		}
+	}
+	if total <= 0 {
+		_, err := fmt.Fprintln(w, "trace: empty timeline (no events, zero makespan)")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "timeline %s: %d ranks, %.6gs modeled, %.4gs/char\n",
+		r.label, r.np, total, total/float64(width)); err != nil {
+		return err
+	}
+	dt := total / float64(width)
+	for rank := 0; rank < r.np; rank++ {
+		row := make([]rune, width)
+		for i := range row {
+			row[i] = tlIdle
+		}
+		paint := func(from, to float64, c rune) {
+			if to <= from {
+				return
+			}
+			lo := int(from / dt)
+			hi := int(to / dt)
+			if hi >= width {
+				hi = width - 1
+			}
+			for i := lo; i <= hi && i >= 0; i++ {
+				if tlPriority[c] > tlPriority[row[i]] {
+					row[i] = c
+				}
+			}
+		}
+		for _, e := range r.primitives(rank) {
+			switch e.Kind {
+			case KindCompute:
+				paint(e.Start, e.End, tlCompute)
+			case KindSend:
+				paint(e.Start, e.End, tlSend)
+			case KindRecv:
+				bodyFrom := e.Start
+				if e.Head > e.Start {
+					paint(e.Start, e.Head, tlWait)
+					bodyFrom = e.Head
+				}
+				paint(bodyFrom, e.End, tlRecv)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "r%-3d |%s|\n", rank, string(row)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s\nlegend: C compute, r recv transfer, s send overhead, w wait, . idle\n",
+		strings.Repeat("-", width+6))
+	return err
+}
