@@ -19,16 +19,20 @@ test:
 	$(GO) test ./...
 
 # The SPMD machine runs every virtual processor as a goroutine and the
-# tracer writes per-rank logs from all of them; these are the packages
-# where a data race would hide.
+# tracer writes per-rank logs from all of them; the solvers and the
+# mat-vec kernels now share pooled buffers and workspaces across those
+# goroutines, so they race-test too.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/...
 
 check: build vet test race
 
-# Modeled-machine benchmarks (send path allocation counts included).
+# Modeled-machine benchmarks (send path allocation counts included),
+# plus the E19 communication-avoidance smoke run with a JSON snapshot
+# for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
+	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
 
 # Small-size smoke run of every experiment.
 quick:

@@ -4,10 +4,11 @@
 //
 // Examples:
 //
-//	cgbench                  # run every experiment at full size
-//	cgbench -exp E2,E3       # just the two mat-vec scenarios
-//	cgbench -quick           # small sizes (CI smoke run)
-//	cgbench -exp E8 -csv     # CSV output for plotting
+//	cgbench                        # run every experiment at full size
+//	cgbench -exp E2,E3             # just the two mat-vec scenarios
+//	cgbench -quick                 # small sizes (CI smoke run)
+//	cgbench -exp E8 -csv           # CSV output for plotting
+//	cgbench -exp E19 -json out.json  # append JSON snapshots for regression diffing
 package main
 
 import (
@@ -15,18 +16,21 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hpfcg/internal/bench"
+	"hpfcg/internal/report"
 	"hpfcg/internal/topology"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiment IDs (E1..E12) or 'all'")
-		quick = flag.Bool("quick", false, "small problem sizes")
-		topo  = flag.String("topology", "hypercube", "hypercube | ring | mesh2d | full")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		seed  = flag.Int64("seed", 1996, "matrix generator seed")
+		exp      = flag.String("exp", "all", "comma-separated experiment IDs (see EXPERIMENTS.md) or 'all'")
+		quick    = flag.Bool("quick", false, "small problem sizes")
+		topo     = flag.String("topology", "hypercube", "hypercube | ring | mesh2d | full")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonPath = flag.String("json", "", "append per-experiment JSON snapshots to this file (BENCH_*.json)")
+		seed     = flag.Int64("seed", 1996, "matrix generator seed")
 	)
 	flag.Parse()
 
@@ -38,6 +42,15 @@ func main() {
 		fatal(err)
 	}
 	cfg.Topo = t
+
+	var jsonOut *os.File
+	if *jsonPath != "" {
+		jsonOut, err = os.OpenFile(*jsonPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		defer jsonOut.Close()
+	}
 
 	ids := bench.IDs()
 	if *exp != "all" {
@@ -60,6 +73,21 @@ func main() {
 				}
 				fmt.Println()
 			} else if err := tab.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+		}
+		if jsonOut != nil {
+			snap := &report.Snapshot{
+				Experiment: id,
+				Timestamp:  time.Now().UTC().Format(time.RFC3339),
+				Config: map[string]any{
+					"quick":    *quick,
+					"topology": *topo,
+					"seed":     *seed,
+				},
+				Tables: tables,
+			}
+			if err := snap.Write(jsonOut); err != nil {
 				fatal(err)
 			}
 		}

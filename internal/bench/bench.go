@@ -82,6 +82,7 @@ var experiments = map[string]Runner{
 	"E16": E16,
 	"E17": E17,
 	"E18": E18,
+	"E19": E19,
 }
 
 // IDs lists the experiment identifiers in run order.

@@ -15,10 +15,10 @@ func quickCfg() Config {
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("%d experiments registered, want 18", len(ids))
+	if len(ids) != 19 {
+		t.Fatalf("%d experiments registered, want 19", len(ids))
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E18" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E19" {
 		t.Errorf("order wrong: %v", ids)
 	}
 }
@@ -358,6 +358,57 @@ func TestE18WeakScaling(t *testing.T) {
 	last := rows[len(rows)-1]
 	if eff := parseF(t, last[5]); eff < 0.3 || eff > 1.05 {
 		t.Errorf("weak-scaling efficiency at np=%s is %g, outside (0.3, 1.05)", last[0], eff)
+	}
+}
+
+// E19: the communication-avoidance ledger must show up in the harness —
+// reduction rounds per iteration strictly decreasing from the unfused
+// baseline through fused CG to the single-reduction variant, with the
+// modeled time following, and the Rabenseifner crossover table showing
+// the tree winning short vectors and losing long ones.
+func TestE19FusionWins(t *testing.T) {
+	tables, err := E19(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	// Group table-1 rows by (np, n) and compare the three variants.
+	type key struct{ np, n string }
+	rounds := map[key]map[string]float64{}
+	model := map[key]map[string]float64{}
+	for _, row := range tables[0].Rows {
+		k := key{row[1], row[2]}
+		if rounds[k] == nil {
+			rounds[k] = map[string]float64{}
+			model[k] = map[string]float64{}
+		}
+		rounds[k][row[0]] = parseF(t, row[4])
+		model[k][row[0]] = parseF(t, row[5])
+	}
+	for k, r := range rounds {
+		if !(r["single_1round"] < r["fused_2round"] && r["fused_2round"] < r["unfused_3round"]) {
+			t.Errorf("np=%s n=%s: rounds/it not decreasing: %v", k.np, k.n, r)
+		}
+		if r["fused_2round"] != 2 {
+			t.Errorf("np=%s n=%s: fused CG pays %g rounds/it, want exactly 2", k.np, k.n, r["fused_2round"])
+		}
+		m := model[k]
+		if k.np != "1" && !(m["fused_2round"] < m["unfused_3round"]) {
+			t.Errorf("np=%s n=%s: fused model time %g not below unfused %g", k.np, k.n, m["fused_2round"], m["unfused_3round"])
+		}
+	}
+	// Table 2: tree wins a 1-word merge, Rabenseifner wins 4096 words.
+	for _, row := range tables[1].Rows {
+		words := row[1]
+		winner := row[6]
+		if words == "1" && winner != "tree" {
+			t.Errorf("np=%s words=1: winner %s, want tree", row[0], winner)
+		}
+		if words == "4096" && winner != "recursive" {
+			t.Errorf("np=%s words=4096: winner %s, want recursive", row[0], winner)
+		}
 	}
 }
 

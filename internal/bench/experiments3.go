@@ -186,7 +186,7 @@ func E17(cfg Config) ([]*report.Table, error) {
 		Title:  fmt.Sprintf("CG vs Chebyshev (dot-free), randspd n=%d np=%d", n, np),
 		Header: []string{"t_startup", "cg_iters", "cg_time_s", "cheb_iters", "cheb_time_s", "cheb/cg_time"},
 		Notes: []string{
-			"CG: 3 allreduce merges per iteration; Chebyshev: 1 norm per 10 iterations",
+			"CG: 2 allreduce merges per iteration (fused, see E19); Chebyshev: 1 norm per 10 iterations",
 			fmt.Sprintf("spectral bounds from a 30-step CG probe (Ritz interval [%.3g, %.3g], widened)",
 				probe.Spectrum.EigMin, probe.Spectrum.EigMax),
 		},

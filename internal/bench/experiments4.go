@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/report"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+// E19 — the communication-avoiding CG hot path. Table 1 pits the three
+// CG formulations against each other across processor counts and
+// problem sizes: the literal Figure 2 transcription (three allreduce
+// rounds per iteration, fresh vectors and boxed merges every call),
+// the fused production CG (batched setup norms, fused mat-vec dot,
+// rho reuse — two rounds, bit-identical iterates), and the
+// single-reduction variant (all four scalars in one batched round, a
+// different floating-point trajectory). Each variant is timed both on
+// the modeled machine (t_s·rounds is what shrinks) and in wall-clock
+// over repeated solves from a shared workspace (where the
+// allocation-free hot path shows up). Table 2 maps the tree vs
+// Rabenseifner allreduce crossover that the auto-selection in
+// internal/comm navigates: closed-form and simulated model times per
+// message length, per processor count.
+func E19(cfg Config) ([]*report.Table, error) {
+	type variant struct {
+		name  string
+		reuse bool
+		solve func(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt core.Options) (core.Stats, error)
+	}
+	variants := []variant{
+		{"unfused_3round", false, core.CGUnfused},
+		{"fused_2round", true, core.CG},
+		{"single_1round", true, core.CGFused},
+	}
+	repeats := cfg.pick(8, 3)
+	nps := []int{2, 4, 8, 16}
+	sizes := []int{cfg.pick(1024, 256), cfg.pick(4096, 576)}
+	if cfg.Quick {
+		nps = []int{2, 4}
+	}
+
+	t1 := &report.Table{
+		ID:     "E19",
+		Title:  fmt.Sprintf("CG reduction fusion: rounds, model time, wall clock (%d solves each)", repeats),
+		Header: []string{"variant", "np", "n", "iters", "rounds/it", "model_t_s", "wall_us"},
+		Notes: []string{
+			"rounds/it = allreduce merge rounds per iteration (setup rounds excluded);",
+			"model_t_s = simulated makespan per solve; wall_us = host wall clock per solve",
+			"over repeated solves reusing one workspace (unfused allocates per call).",
+		},
+	}
+	for _, n := range sizes {
+		A := sparse.Banded(n, 4)
+		b := sparse.RandomVector(n, cfg.Seed)
+		for _, np := range nps {
+			d := dist.NewBlock(n, np)
+			for _, v := range variants {
+				var st core.Stats
+				var solveErr error
+				m := cfg.machine(np)
+				t0 := time.Now()
+				rs := m.Run(func(p *comm.Proc) {
+					op := spmv.NewRowBlockCSRGhost(p, A, d)
+					bv := darray.New(p, d)
+					bv.SetGlobal(func(g int) float64 { return b[g] })
+					xv := darray.New(p, d)
+					opt := core.Options{Tol: 1e-8}
+					if v.reuse {
+						opt.Work = core.NewWorkspace()
+					}
+					for rep := 0; rep < repeats; rep++ {
+						xv.Fill(0)
+						s, err := v.solve(p, op, bv, xv, opt)
+						if err != nil {
+							solveErr = err
+							return
+						}
+						if p.Rank() == 0 {
+							st = s
+						}
+					}
+				})
+				wall := time.Since(t0)
+				if solveErr != nil {
+					return nil, fmt.Errorf("%s np=%d n=%d: %w", v.name, np, n, solveErr)
+				}
+				if !st.Converged {
+					return nil, fmt.Errorf("%s np=%d n=%d: did not converge: %v", v.name, np, n, st)
+				}
+				// Setup rounds: 3 for the unfused baseline (three separate
+				// merges before the loop), 1 for both fused variants (one
+				// batched {r·r, b·b} round).
+				setup := 1
+				if !v.reuse {
+					setup = 3
+				}
+				perIt := float64(st.Reductions-setup) / float64(st.Iterations)
+				t1.AddRowf(v.name, np, n, st.Iterations, perIt,
+					rs.ModelTime/float64(repeats),
+					float64(wall.Microseconds())/float64(repeats))
+			}
+		}
+	}
+
+	t2 := &report.Table{
+		ID:     "E19",
+		Title:  "allreduce algorithm crossover: binomial tree vs Rabenseifner",
+		Header: []string{"np", "words", "tree_model", "rec_model", "tree_sim", "rec_sim", "winner"},
+		Notes: []string{
+			"model = closed-form AllreduceTime / RabenseifnerAllreduceTime;",
+			"sim = simulated makespan of one AllreduceInPlace; winner by sim.",
+			"The auto selection pins tree below 16 words, then follows the closed forms.",
+		},
+	}
+	crossNPs := []int{4, 8, 16}
+	words := []int{1, 16, 256, 4096, 65536}
+	if cfg.Quick {
+		crossNPs = []int{4, 8}
+		words = []int{1, 256, 4096}
+	}
+	for _, np := range crossNPs {
+		for _, w := range words {
+			treeModel := topology.AllreduceTime(cfg.Topo, cfg.Cost, np, w)
+			recModel := topology.RabenseifnerAllreduceTime(cfg.Topo, cfg.Cost, np, w)
+			sim := func(algo comm.AllreduceAlgo) float64 {
+				return cfg.machine(np).Run(func(p *comm.Proc) {
+					buf := make([]float64, w)
+					p.AllreduceInPlace(buf, comm.OpSum, algo)
+				}).ModelTime
+			}
+			treeSim := sim(comm.AlgoTree)
+			recSim := sim(comm.AlgoRecursive)
+			winner := "tree"
+			if recSim < treeSim {
+				winner = "recursive"
+			}
+			t2.AddRowf(np, w, treeModel, recModel, treeSim, recSim, winner)
+		}
+	}
+	return []*report.Table{t1, t2}, nil
+}

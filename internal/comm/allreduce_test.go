@@ -1,0 +1,281 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/topology"
+)
+
+// serialReduce is the reference: combine all ranks' vectors in rank
+// order on one machine.
+func serialReduce(np, n int, op ReduceOp, gen func(rank, i int) float64) []float64 {
+	ref := make([]float64, n)
+	for i := range ref {
+		ref[i] = gen(0, i)
+	}
+	for r := 1; r < np; r++ {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = gen(r, i)
+		}
+		op.combine(ref, v)
+	}
+	return ref
+}
+
+// TestAllreduceAlgosBitIdentical: the tree and Rabenseifner algorithms
+// must agree bit for bit on integer-valued data (where every
+// combination order is exact) for every operator, processor count —
+// including the odd counts that exercise the non-power-of-two fold —
+// and vector length, including lengths that do not divide evenly into
+// the power-of-two block decomposition.
+func TestAllreduceAlgosBitIdentical(t *testing.T) {
+	sizes := []int{1, 3, 17, 64, 257}
+	gen := func(rank, i int) float64 { return float64((rank*31+i*7)%23 - 11) }
+	for _, np := range testNPs {
+		for _, n := range sizes {
+			for _, op := range []ReduceOp{OpSum, OpMax, OpMin} {
+				ref := serialReduce(np, n, op, gen)
+				for _, algo := range []AllreduceAlgo{AlgoTree, AlgoRecursive, AlgoAuto} {
+					got := make([][]float64, np)
+					testMachine(np).Run(func(p *Proc) {
+						x := make([]float64, n)
+						for i := range x {
+							x[i] = gen(p.Rank(), i)
+						}
+						got[p.Rank()] = p.AllreduceWith(x, op, algo)
+					})
+					for r := 0; r < np; r++ {
+						for i := range ref {
+							if got[r][i] != ref[i] {
+								t.Fatalf("np=%d n=%d op=%d algo=%v rank=%d elem %d: got %v want %v",
+									np, n, op, algo, r, i, got[r][i], ref[i])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllreduceInPlaceMatchesAllreduce: the in-place form and the
+// copying form are the same collective.
+func TestAllreduceInPlaceMatchesAllreduce(t *testing.T) {
+	testMachine(4).Run(func(p *Proc) {
+		a := make([]float64, 33)
+		b := make([]float64, 33)
+		for i := range a {
+			a[i] = float64(p.Rank()*i + 1)
+			b[i] = a[i]
+		}
+		out := p.AllreduceWith(a, OpSum, AlgoRecursive)
+		p.AllreduceInPlace(b, OpSum, AlgoRecursive)
+		for i := range out {
+			if out[i] != b[i] {
+				t.Errorf("elem %d: AllreduceWith %v != AllreduceInPlace %v", i, out[i], b[i])
+			}
+			if a[i] != float64(p.Rank()*i+1) {
+				t.Errorf("AllreduceWith mutated its input at %d", i)
+			}
+		}
+	})
+}
+
+// TestAllreduceStartupAsymptotics: under a startup-only cost model both
+// algorithms pay the same 2·log2 NP sequential message steps on a
+// power-of-two machine; the non-power-of-two fold adds exactly one
+// step to the recursive algorithm's critical path.
+func TestAllreduceStartupAsymptotics(t *testing.T) {
+	tsOnly := topology.CostParams{TStartup: 1}
+	run := func(np int, algo AllreduceAlgo) float64 {
+		m := NewMachine(np, topology.Hypercube{}, tsOnly)
+		return m.Run(func(p *Proc) {
+			p.AllreduceInPlace(make([]float64, 64), OpSum, algo)
+		}).ModelTime
+	}
+	for _, np := range []int{2, 4, 8, 16} {
+		tree, rec := run(np, AlgoTree), run(np, AlgoRecursive)
+		if tree != rec {
+			t.Errorf("np=%d: startup-only makespan tree=%g recursive=%g, want equal", np, tree, rec)
+		}
+	}
+	for _, np := range []int{3, 5, 7} {
+		tree, rec := run(np, AlgoTree), run(np, AlgoRecursive)
+		if rec != tree+1 {
+			t.Errorf("np=%d: startup-only makespan tree=%g recursive=%g, want fold cost of exactly one extra step", np, tree, rec)
+		}
+	}
+}
+
+// TestAllreduceBandwidthWin: under a byte-only cost model Rabenseifner
+// moves 2·n·(NP-1)/NP words against the tree's 2·n·log2 NP — strictly
+// less for NP >= 2, and the gap widens with NP.
+func TestAllreduceBandwidthWin(t *testing.T) {
+	twOnly := topology.CostParams{TByte: 1}
+	const words = 4096
+	prevRatio := 1.0
+	for _, np := range []int{2, 4, 8, 16} {
+		m := NewMachine(np, topology.Hypercube{}, twOnly)
+		times := map[AllreduceAlgo]float64{}
+		for _, algo := range []AllreduceAlgo{AlgoTree, AlgoRecursive} {
+			times[algo] = m.Run(func(p *Proc) {
+				p.AllreduceInPlace(make([]float64, words), OpSum, algo)
+			}).ModelTime
+		}
+		if times[AlgoRecursive] >= times[AlgoTree] {
+			t.Errorf("np=%d: byte-only makespan recursive %g >= tree %g", np, times[AlgoRecursive], times[AlgoTree])
+		}
+		ratio := times[AlgoRecursive] / times[AlgoTree]
+		if np > 2 && ratio >= prevRatio {
+			t.Errorf("np=%d: bandwidth advantage ratio %g did not improve on %g", np, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+// TestAllreduceAutoSelection: the per-call choice is tree for scalars
+// (pinned below rabenseifnerMinWords) and recursive for long vectors on
+// the default machine, and matches the closed-form comparison in
+// between.
+func TestAllreduceAutoSelection(t *testing.T) {
+	testMachine(8).Run(func(p *Proc) {
+		if got := p.chooseAllreduceAlgo(1); got != AlgoTree {
+			t.Errorf("1 word: chose %v, want tree", got)
+		}
+		if got := p.chooseAllreduceAlgo(rabenseifnerMinWords - 1); got != AlgoTree {
+			t.Errorf("%d words: chose %v, want tree", rabenseifnerMinWords-1, got)
+		}
+		if got := p.chooseAllreduceAlgo(4096); got != AlgoRecursive {
+			t.Errorf("4096 words: chose %v, want recursive", got)
+		}
+		// Above the pin the choice must agree with the closed forms.
+		for _, words := range []int{rabenseifnerMinWords, 256, 65536} {
+			rec := topology.RabenseifnerAllreduceTime(topology.Hypercube{}, topology.DefaultCostParams(), 8, words)
+			tree := topology.AllreduceTime(topology.Hypercube{}, topology.DefaultCostParams(), 8, words)
+			want := AlgoTree
+			if rec < tree {
+				want = AlgoRecursive
+			}
+			if got := p.chooseAllreduceAlgo(words); got != want {
+				t.Errorf("%d words: chose %v, closed forms say %v", words, got, want)
+			}
+		}
+	})
+	testMachine(1).Run(func(p *Proc) {
+		if got := p.chooseAllreduceAlgo(1 << 20); got != AlgoTree {
+			t.Errorf("np=1: chose %v, want tree (nothing to communicate)", got)
+		}
+	})
+}
+
+// TestAllreduceScalarsMatchesSeparate: batching k scalars into one
+// AllreduceScalars round is bit-identical to k separate AllreduceScalar
+// calls — the element-wise combine runs in the same tree order — even
+// for floating-point data where the order matters.
+func TestAllreduceScalarsMatchesSeparate(t *testing.T) {
+	for _, np := range testNPs {
+		testMachine(np).Run(func(p *Proc) {
+			vals := []float64{
+				1.0 / float64(p.Rank()+1),
+				math.Pi * float64(p.Rank()),
+				1e-17 + float64(p.Rank()),
+			}
+			batched := make([]float64, len(vals))
+			copy(batched, vals)
+			p.AllreduceScalars(batched, OpSum)
+			for i, v := range vals {
+				if sep := p.AllreduceScalar(v, OpSum); sep != batched[i] {
+					t.Errorf("np=%d elem %d: batched %v != separate %v", np, i, batched[i], sep)
+				}
+			}
+		})
+	}
+}
+
+// TestAllreduceScalarNoAllocs is the scalar fast path's zero-allocation
+// guard: after one warm-up round fills every rank's buffer pool, the
+// steady-state DOT_PRODUCT merge must not touch the heap on any rank
+// (AllocsPerRun counts process-wide allocations, so peer ranks
+// allocating would fail it too).
+func TestAllreduceScalarNoAllocs(t *testing.T) {
+	const runs = 7
+	m := testMachine(4)
+	var allocs float64
+	m.Run(func(p *Proc) {
+		x := float64(p.Rank() + 1)
+		p.AllreduceScalar(x, OpSum) // warm-up: populate the pools
+		if p.Rank() == 0 {
+			allocs = testing.AllocsPerRun(runs, func() {
+				p.AllreduceScalar(x, OpSum)
+			})
+		} else {
+			for i := 0; i < runs+1; i++ {
+				p.AllreduceScalar(x, OpSum)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AllreduceScalar allocated %.1f times per call in steady state, want 0", allocs)
+	}
+}
+
+// TestAllreduceInPlaceNoAllocs: both algorithms run allocation-free in
+// steady state on pooled buffers (vectors sized above the auto
+// crossover so the recursive path is the one that matters in practice).
+func TestAllreduceInPlaceNoAllocs(t *testing.T) {
+	const runs = 7
+	for _, algo := range []AllreduceAlgo{AlgoTree, AlgoRecursive} {
+		m := testMachine(4)
+		var allocs float64
+		m.Run(func(p *Proc) {
+			x := make([]float64, 128)
+			p.AllreduceInPlace(x, OpSum, algo)
+			if p.Rank() == 0 {
+				allocs = testing.AllocsPerRun(runs, func() {
+					p.AllreduceInPlace(x, OpSum, algo)
+				})
+			} else {
+				for i := 0; i < runs+1; i++ {
+					p.AllreduceInPlace(x, OpSum, algo)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("AllreduceInPlace(%v) allocated %.1f times per call in steady state, want 0", algo, allocs)
+		}
+	}
+}
+
+// TestAllgatherVIntoNoAllocs: the gather phase of the mat-vec reuses
+// the caller's buffer and pooled messages — no steady-state heap
+// traffic on either the power-of-two or the ring path.
+func TestAllgatherVIntoNoAllocs(t *testing.T) {
+	const runs = 7
+	for _, np := range []int{3, 4} {
+		m := testMachine(np)
+		var allocs float64
+		m.Run(func(p *Proc) {
+			counts := make([]int, np)
+			for i := range counts {
+				counts[i] = 16
+			}
+			local := make([]float64, 16)
+			full := make([]float64, 16*np)
+			p.AllgatherVInto(local, counts, full)
+			if p.Rank() == 0 {
+				allocs = testing.AllocsPerRun(runs, func() {
+					p.AllgatherVInto(local, counts, full)
+				})
+			} else {
+				for i := 0; i < runs+1; i++ {
+					p.AllgatherVInto(local, counts, full)
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("np=%d: AllgatherVInto allocated %.1f times per call in steady state, want 0", np, allocs)
+		}
+	}
+}

@@ -148,19 +148,28 @@ func (p *Proc) Reduce(root int, x []float64, op ReduceOp) []float64 {
 }
 
 // Allreduce combines x element-wise across all processors and returns
-// the result on every rank (reduce to rank 0, then broadcast). This is
-// the "merge phase" of the paper's inner products: t_s*log NP
-// communication for the scalar case.
+// the result on every rank. This is the "merge phase" of the paper's
+// inner products: t_s*log NP communication for the scalar case. The
+// algorithm is chosen per call by modeled cost: binomial tree
+// (reduce to rank 0, then broadcast) for short vectors, Rabenseifner's
+// bandwidth-optimal reduce-scatter + allgather for long ones (see
+// AllreduceWith to force one).
 func (p *Proc) Allreduce(x []float64, op ReduceOp) []float64 {
-	defer p.collEnd("allreduce", p.clock)
-	res := p.Reduce(0, x, op)
-	return p.BcastFloats(0, res)
+	return p.AllreduceWith(x, op, AlgoAuto)
 }
 
 // AllreduceScalar is Allreduce for a single value, the shape of
-// DOT_PRODUCT's merge phase.
+// DOT_PRODUCT's merge phase. It reuses a pooled 1-element buffer, so
+// the per-dot-product heap allocation the boxed form paid is gone; the
+// message schedule and result are bit-identical to the original
+// tree allreduce.
 func (p *Proc) AllreduceScalar(x float64, op ReduceOp) float64 {
-	return p.Allreduce([]float64{x}, op)[0]
+	buf := p.GetBuf(1)
+	buf[0] = x
+	p.AllreduceScalars(buf, op)
+	v := buf[0]
+	p.PutBuf(buf)
+	return v
 }
 
 func checkCounts(counts []int, np int) int {
@@ -250,42 +259,7 @@ func (p *Proc) ScatterV(root int, full []float64, counts []int) []float64 {
 // doubling block sizes and single-hop hypercube partners); otherwise
 // it falls back to the (NP-1)-step ring.
 func (p *Proc) AllgatherV(local []float64, counts []int) []float64 {
-	defer p.collEnd("allgatherv", p.clock)
-	tag := p.nextTag(opAllgather)
-	np := p.m.np
-	total := checkCounts(counts, np)
-	if len(local) != counts[p.rank] {
-		panic(fmt.Sprintf("comm: AllgatherV rank %d local length %d != counts %d", p.rank, len(local), counts[p.rank]))
-	}
-	offs := offsetsOf(counts)
-	full := make([]float64, total)
-	copy(full[offs[p.rank]:], local)
-	if np == 1 {
-		return full
-	}
-	if np&(np-1) == 0 {
-		// Recursive doubling: before the step with group size k, this
-		// rank holds the k blocks [base, base+k) with base = rank&^(k-1).
-		for k := 1; k < np; k <<= 1 {
-			partner := p.rank ^ k
-			base := p.rank &^ (k - 1)
-			pbase := partner &^ (k - 1)
-			p.Send(partner, tag, Payload{Floats: full[offs[base]:offs[base+k]]})
-			in := p.Recv(partner, tag).Floats
-			copy(full[offs[pbase]:offs[pbase+k]], in)
-		}
-		return full
-	}
-	right := (p.rank + 1) % np
-	left := (p.rank - 1 + np) % np
-	for step := 0; step < np-1; step++ {
-		sendBlk := (p.rank - step + np) % np
-		recvBlk := (p.rank - step - 1 + np) % np
-		p.Send(right, tag, Payload{Floats: full[offs[sendBlk]:offs[sendBlk+1]]})
-		in := p.Recv(left, tag).Floats
-		copy(full[offs[recvBlk]:], in)
-	}
-	return full
+	return p.AllgatherVInto(local, counts, nil)
 }
 
 // AllgatherVInts is AllgatherV for int blocks.

@@ -221,7 +221,11 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 	panics := make([]any, m.np)
 	var wg sync.WaitGroup
 	for r := 0; r < m.np; r++ {
-		p := &Proc{m: m, rc: rc, rank: r}
+		p := &Proc{
+			m: m, rc: rc, rank: r,
+			pool:    make([][]float64, 0, poolCap),
+			intPool: make([][]int, 0, intPoolCap),
+		}
 		if rec != nil {
 			p.tr = rec.Rank(r)
 		}
@@ -291,6 +295,10 @@ type Proc struct {
 	seq   int // collective sequence number, for tag matching
 	stats ProcStats
 	tr    *trace.RankLog // nil unless a tracer is attached
+	// pool/intPool hold recycled scratch buffers (see GetBuf). They are
+	// owned by this rank's goroutine, so no locking is needed.
+	pool    [][]float64
+	intPool [][]int
 }
 
 // Rank returns this processor's rank in [0, NP).

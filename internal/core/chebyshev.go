@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/darray"
@@ -22,11 +23,13 @@ func Chebyshev(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, eigMin, eigMa
 		return Stats{}, fmt.Errorf("core: Chebyshev needs 0 < eigMin <= eigMax, got [%g, %g]", eigMin, eigMax)
 	}
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
@@ -35,8 +38,8 @@ func Chebyshev(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, eigMin, eigMa
 
 	d := (eigMax + eigMin) / 2
 	cc := (eigMax - eigMin) / 2
-	pv := darray.NewAligned(b)
-	q := darray.NewAligned(b)
+	pv := w.take(b)
+	q := w.take(b)
 	var alpha, beta float64
 	const checkEvery = 10
 
@@ -55,7 +58,7 @@ func Chebyshev(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, eigMin, eigMa
 		o.apply(A, pv, q)
 		o.axpy(r, -alpha, q)
 		if k%checkEvery == 0 || k == opt.MaxIter {
-			rn = r.Norm2()
+			rn = math.Sqrt(o.mergeScalar(r.NormSqLocal()))
 			st.DotProducts++
 			rel := rn / bn
 			o.record(rel, opt)
@@ -66,7 +69,7 @@ func Chebyshev(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, eigMin, eigMa
 			}
 		}
 	}
-	rn = r.Norm2()
+	rn = math.Sqrt(o.mergeScalar(r.NormSqLocal()))
 	st.DotProducts++
 	st.Residual = rn / bn
 	if st.Residual <= opt.Tol {

@@ -20,11 +20,23 @@
 // Every processor of a comm.Machine executes the same solver body
 // (SPMD); scalars such as rho and alpha are produced by collective
 // reductions, so control flow stays identical across processors.
+//
+// The solvers are communication-avoiding in the scalar merges: local
+// dot-product partials that the textbook form merges one at a time are
+// batched into single comm.AllreduceScalars rounds (element-wise
+// combination in a batch is the same arithmetic as separate scalar
+// allreduces, so the batched solvers produce bit-identical iterates).
+// CG additionally reuses the merged ||r||² as the next rho — the
+// Figure 2 loop recomputes DOT_PRODUCT(r,r) the merge already produced
+// — dropping its synchronisation count from three rounds per iteration
+// to two; CGFused trades bit-compatibility for a single round. Stats
+// counts the rounds, and experiment E19 measures the effect.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/darray"
@@ -43,6 +55,11 @@ type Options struct {
 	MaxIter int
 	// History, when true, records the relative residual per iteration.
 	History bool
+	// Work, when non-nil, supplies the solver's temporary vectors from
+	// a reusable per-processor pool instead of fresh allocations, so
+	// repeated solves (and their iterations) stay off the heap. Each
+	// processor must pass its own Workspace.
+	Work *Workspace
 }
 
 func (o Options) withDefaults(n int) Options {
@@ -65,25 +82,74 @@ type Stats struct {
 	TransMatVecs int
 	DotProducts  int
 	AXPYs        int
-	History      []float64
+	// Reductions counts scalar allreduce merge rounds — the t_s·log NP
+	// synchronisations per solve. Batched merges count one round
+	// regardless of how many partials they carry, so this is the
+	// communication-avoidance metric of experiment E19.
+	Reductions int
+	History    []float64
 }
 
 // String summarises the stats.
 func (s Stats) String() string {
-	return fmt.Sprintf("iters=%d converged=%v relres=%.3e matvec=%d matvecT=%d dot=%d axpy=%d",
-		s.Iterations, s.Converged, s.Residual, s.MatVecs, s.TransMatVecs, s.DotProducts, s.AXPYs)
+	return fmt.Sprintf("iters=%d converged=%v relres=%.3e matvec=%d matvecT=%d dot=%d axpy=%d reduce=%d",
+		s.Iterations, s.Converged, s.Residual, s.MatVecs, s.TransMatVecs, s.DotProducts, s.AXPYs, s.Reductions)
 }
 
-type ops struct{ s *Stats }
+// newStats builds the Stats for a solve, preallocating the residual
+// history to its MaxIter bound so record never reallocates mid-solve.
+func newStats(opt Options) Stats {
+	var st Stats
+	if opt.History {
+		st.History = make([]float64, 0, opt.MaxIter)
+	}
+	return st
+}
+
+type ops struct {
+	s *Stats
+	p *comm.Proc
+}
 
 func (o ops) dot(a, b *darray.Vector) float64 {
 	o.s.DotProducts++
+	o.s.Reductions++
 	return a.Dot(b)
+}
+
+// dotLocal is the communication-free half of a dot product; the caller
+// batches the partial into a merge round.
+func (o ops) dotLocal(a, b *darray.Vector) float64 {
+	o.s.DotProducts++
+	return a.DotLocal(b)
+}
+
+// mergeScalar merges one local partial sum in a single allreduce round.
+func (o ops) mergeScalar(v float64) float64 {
+	o.s.Reductions++
+	return o.p.AllreduceScalar(v, comm.OpSum)
+}
+
+// merge combines several local partial sums in ONE batched allreduce
+// round — the fused form of len(d) separate mergeScalar calls, with
+// identical element-wise arithmetic (so identical results) but a single
+// t_s·log NP synchronisation.
+func (o ops) merge(d []float64) {
+	o.s.Reductions++
+	o.p.AllreduceScalars(d, comm.OpSum)
 }
 
 func (o ops) axpy(y *darray.Vector, alpha float64, x *darray.Vector) {
 	o.s.AXPYs++
 	y.AXPY(alpha, x)
+}
+
+// axpyNormSqLocal fuses y += alpha*x with the local partial of the
+// updated ||y||² (one sweep instead of two, bit-identical results).
+func (o ops) axpyNormSqLocal(y *darray.Vector, alpha float64, x *darray.Vector) float64 {
+	o.s.AXPYs++
+	o.s.DotProducts++
+	return y.AXPYNormSqLocal(alpha, x)
 }
 
 func (o ops) aypx(y *darray.Vector, beta float64, x *darray.Vector) {
@@ -94,6 +160,21 @@ func (o ops) aypx(y *darray.Vector, beta float64, x *darray.Vector) {
 func (o ops) apply(A spmv.Operator, x, y *darray.Vector) {
 	o.s.MatVecs++
 	A.Apply(x, y)
+}
+
+// applyDotLocal computes y = A·x and the local partial of x·y — in one
+// matrix pass when the operator supports fusion (spmv.FusedOperator),
+// or as Apply followed by the local dot otherwise. Either way the
+// partial is bit-identical and no communication happens here; the
+// caller batches it into a merge round.
+func (o ops) applyDotLocal(A spmv.Operator, x, y *darray.Vector) float64 {
+	o.s.MatVecs++
+	o.s.DotProducts++
+	if f, ok := A.(spmv.FusedOperator); ok {
+		return f.ApplyDot(x, y)
+	}
+	A.Apply(x, y)
+	return x.DotLocal(y)
 }
 
 func (o ops) applyT(A spmv.TransposeOperator, x, y *darray.Vector) {
@@ -107,52 +188,69 @@ func (o ops) record(rel float64, opt Options) {
 	}
 }
 
-// residual0 computes r = b - A*x and returns (||r||, ||b||, counting
-// one matvec and two dots).
-func residual0(o ops, A spmv.Operator, b, x, r *darray.Vector) (rn, bn float64) {
+// residual0 computes r = b - A*x and returns (||r||², ||b||), merging
+// the two setup norms in one batched round (counting one matvec and two
+// dots). ||r||² is returned unsquare-rooted because CG reuses it as the
+// initial rho.
+func residual0(o ops, A spmv.Operator, b, x, r *darray.Vector) (rnsq, bn float64) {
 	o.apply(A, x, r)
 	r.Scale(-1)
 	o.axpy(r, 1, b)
-	rn = r.Norm2()
-	bn = b.Norm2()
+	var d [2]float64
+	d[0] = r.NormSqLocal()
+	d[1] = b.NormSqLocal()
 	o.s.DotProducts += 2
+	o.merge(d[:])
+	bn = math.Sqrt(d[1])
 	if bn == 0 {
 		bn = 1
 	}
-	return rn, bn
+	return d[0], bn
 }
 
 // CG solves A·x = b on the distributed machine — the Figure 2 HPF
 // code. x carries the initial guess in and the solution out; b and x
 // must be aligned with A's vector distribution.
+//
+// The loop is the communication-avoiding restructuring of Figure 2:
+// the mat-vec is fused with DOT_PRODUCT(p,q) (one merge), the residual
+// update with its norm (a second merge), and the merged ||r||² is
+// reused as the next rho instead of recomputing DOT_PRODUCT(r,r) — two
+// allreduce rounds per iteration instead of three, with iterates that
+// are bit-identical to the textbook ordering (the dropped merge would
+// have reduced exactly the partials the norm merge already did).
 func CG(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
 		return st, nil
 	}
-	pv := r.Clone()
-	q := darray.NewAligned(b)
-	rho := o.dot(r, r)
+	pv := w.take(b)
+	pv.CopyFrom(r)
+	q := w.take(b)
+	rho := rnsq // = DOT_PRODUCT(r,r): the setup merge already produced it
 
 	for k := 1; k <= opt.MaxIter; k++ {
 		st.Iterations = k
-		o.apply(A, pv, q)
-		pq := o.dot(pv, q)
+		// Round 1: q = A·p fused with the p·q partial.
+		pq := o.mergeScalar(o.applyDotLocal(A, pv, q))
 		if pq == 0 {
 			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
 		}
 		alpha := rho / pq
 		o.axpy(x, alpha, pv)
-		o.axpy(r, -alpha, q)
-		rn = r.Norm2()
-		st.DotProducts++
+		// Round 2: r -= alpha*q fused with ||r||², which serves both
+		// the stopping test and the next rho.
+		rnsq = o.mergeScalar(o.axpyNormSqLocal(r, -alpha, q))
+		rn = math.Sqrt(rnsq)
 		rel := rn / bn
 		o.record(rel, opt)
 		if rel <= opt.Tol {
@@ -161,7 +259,151 @@ func CG(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats,
 			return st, nil
 		}
 		rho0 := rho
-		rho = o.dot(r, r)
+		rho = rnsq
+		if rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, r)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// CGFused is the single-reduction rearrangement of CG: the scalars an
+// iteration needs — p·q for alpha, r·q and q·q from which the updated
+// residual norm follows by the recurrence
+// ||r - αq||² = ||r||² - 2α(r·q) + α²(q·q), and a refreshed r·r — are
+// merged in ONE batched allreduce, halving CG's synchronisation count
+// again. The refreshed r·r is the stabiliser: rho is taken from the
+// explicit dot every iteration, so the recurrence is only ever one
+// step deep and its cancellation error (severe when ||r_new||² ≪
+// ||r||²) perturbs a single beta instead of compounding into every
+// later alpha — without the refresh the iterates themselves diverge
+// shortly after the residual bottoms out. Unlike CG's own fusions the
+// recurrence changes the floating-point trajectory (it is not
+// bit-identical to CG), so the stopping decision confirms with an
+// explicitly merged norm whenever the recurrence goes nonpositive or
+// signals convergence.
+func CGFused(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
+
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	pv := w.take(b)
+	pv.CopyFrom(r)
+	q := w.take(b)
+	var d [4]float64
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		// The single round: {p·q, r·q, q·q, r·r} batched.
+		d[0] = o.applyDotLocal(A, pv, q)
+		d[1] = o.dotLocal(r, q)
+		d[2] = o.dotLocal(q, q)
+		d[3] = o.dotLocal(r, r)
+		o.merge(d[:])
+		pq, rq, qq := d[0], d[1], d[2]
+		rho := d[3]
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		o.axpy(r, -alpha, q)
+		rnsq = rho - 2*alpha*rq + alpha*alpha*qq
+		rn = math.Sqrt(rnsq)
+		if rnsq <= 0 || rn/bn <= opt.Tol {
+			// The recurrence has drifted or claims convergence:
+			// confirm with an explicit norm (one extra round, only
+			// paid near the end of the solve).
+			rnsq = o.mergeScalar(r.NormSqLocal())
+			st.DotProducts++
+			rn = math.Sqrt(rnsq)
+		}
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		beta := rnsq / rho
+		o.aypx(pv, beta, r)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}
+
+// dotBoxed is the pre-fusion DOT_PRODUCT merge: one allreduce round per
+// scalar, through the slice-boxed general Allreduce (so it pays the
+// per-call allocations the pooled scalar path eliminated). Kept only
+// for CGUnfused, the E19 measurement baseline.
+func (o ops) dotBoxed(a, b *darray.Vector) float64 {
+	o.s.DotProducts++
+	o.s.Reductions++
+	return o.p.AllreduceWith([]float64{a.DotLocal(b)}, comm.OpSum, comm.AlgoTree)[0]
+}
+
+// CGUnfused is the literal Figure 2 transcription kept as the
+// measurement baseline for experiment E19: every scalar merges in its
+// own allreduce round — DOT_PRODUCT(p,q), the convergence norm, and a
+// recomputed DOT_PRODUCT(r,r), three rounds per iteration — with the
+// boxed per-merge allocations the fused path eliminated. Its iterates
+// are bit-identical to CG's (the fusions reorder no arithmetic); only
+// the synchronisation and allocation behaviour differ.
+func CGUnfused(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
+	opt = opt.withDefaults(A.N())
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+
+	r := darray.NewAligned(b)
+	o.apply(A, x, r)
+	r.Scale(-1)
+	o.axpy(r, 1, b)
+	rn := math.Sqrt(o.dotBoxed(r, r))
+	bn := math.Sqrt(o.dotBoxed(b, b))
+	if bn == 0 {
+		bn = 1
+	}
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	pv := r.Clone()
+	q := darray.NewAligned(b)
+	rho := o.dotBoxed(r, r)
+
+	for k := 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		o.apply(A, pv, q)
+		pq := o.dotBoxed(pv, q)
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		o.axpy(r, -alpha, q)
+		rn = math.Sqrt(o.dotBoxed(r, r))
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = o.dotBoxed(r, r)
 		if rho0 == 0 {
 			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -173,37 +415,45 @@ func CG(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats,
 }
 
 // PCG is CG with a distributed preconditioner (z = M⁻¹r per
-// iteration).
+// iteration). The preconditioner solve is hoisted before the stopping
+// test so DOT_PRODUCT(r,z) batches with the convergence norm — two
+// merge rounds per iteration instead of three, bit-identical iterates
+// (the hoist spends one discarded M-solve on the final iteration).
 func PCG(p *comm.Proc, A spmv.Operator, M Preconditioner, b, x *darray.Vector, opt Options) (Stats, error) {
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
 		return st, nil
 	}
-	z := darray.NewAligned(b)
+	z := w.take(b)
 	M.Apply(r, z)
-	pv := z.Clone()
-	q := darray.NewAligned(b)
+	pv := w.take(b)
+	pv.CopyFrom(z)
+	q := w.take(b)
 	rho := o.dot(r, z)
+	var d [2]float64
 
 	for k := 1; k <= opt.MaxIter; k++ {
 		st.Iterations = k
-		o.apply(A, pv, q)
-		pq := o.dot(pv, q)
+		pq := o.mergeScalar(o.applyDotLocal(A, pv, q))
 		if pq == 0 {
 			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
 		}
 		alpha := rho / pq
 		o.axpy(x, alpha, pv)
-		o.axpy(r, -alpha, q)
-		rn = r.Norm2()
-		st.DotProducts++
+		d[0] = o.axpyNormSqLocal(r, -alpha, q)
+		M.Apply(r, z)
+		d[1] = o.dotLocal(r, z)
+		o.merge(d[:])
+		rn = math.Sqrt(d[0])
 		rel := rn / bn
 		o.record(rel, opt)
 		if rel <= opt.Tol {
@@ -211,9 +461,8 @@ func PCG(p *comm.Proc, A spmv.Operator, M Preconditioner, b, x *darray.Vector, o
 			st.Residual = rel
 			return st, nil
 		}
-		M.Apply(r, z)
 		rho0 := rho
-		rho = o.dot(r, z)
+		rho = d[1]
 		if rho0 == 0 {
 			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -227,40 +476,48 @@ func PCG(p *comm.Proc, A spmv.Operator, M Preconditioner, b, x *darray.Vector, o
 // BiCG solves a general system using the two-residual recurrence. A
 // must support the transpose product; under a row-block distribution
 // that product re-introduces the merge communication (§2.1), which is
-// why the paper singles BiCG out.
+// why the paper singles BiCG out. The convergence norm and
+// DOT_PRODUCT(r̃,r) batch into one round: two merges per iteration.
 func BiCG(p *comm.Proc, A spmv.TransposeOperator, b, x *darray.Vector, opt Options) (Stats, error) {
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
 		return st, nil
 	}
-	rt := r.Clone()
-	pv := r.Clone()
-	pt := rt.Clone()
-	q := darray.NewAligned(b)
-	qt := darray.NewAligned(b)
-	rho := o.dot(rt, r)
+	rt := w.take(b)
+	rt.CopyFrom(r)
+	pv := w.take(b)
+	pv.CopyFrom(r)
+	pt := w.take(b)
+	pt.CopyFrom(rt)
+	q := w.take(b)
+	qt := w.take(b)
+	rho := rnsq // r̃ = r initially, so DOT_PRODUCT(r̃,r) = ||r||²
+	var d [2]float64
 
 	for k := 1; k <= opt.MaxIter; k++ {
 		st.Iterations = k
 		o.apply(A, pv, q)
 		o.applyT(A, pt, qt)
-		ptq := o.dot(pt, q)
+		ptq := o.mergeScalar(o.dotLocal(pt, q))
 		if ptq == 0 {
 			return st, fmt.Errorf("%w: p̃·Ap = 0 at iteration %d", ErrBreakdown, k)
 		}
 		alpha := rho / ptq
 		o.axpy(x, alpha, pv)
-		o.axpy(r, -alpha, q)
+		d[0] = o.axpyNormSqLocal(r, -alpha, q)
 		o.axpy(rt, -alpha, qt)
-		rn = r.Norm2()
-		st.DotProducts++
+		d[1] = o.dotLocal(rt, r)
+		o.merge(d[:])
+		rn = math.Sqrt(d[0])
 		rel := rn / bn
 		o.record(rel, opt)
 		if rel <= opt.Tol {
@@ -269,7 +526,7 @@ func BiCG(p *comm.Proc, A spmv.TransposeOperator, b, x *darray.Vector, opt Optio
 			return st, nil
 		}
 		rho0 := rho
-		rho = o.dot(rt, r)
+		rho = d[1]
 		if rho == 0 || rho0 == 0 {
 			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -282,31 +539,38 @@ func BiCG(p *comm.Proc, A spmv.TransposeOperator, b, x *darray.Vector, opt Optio
 }
 
 // CGS avoids A^T with two forward products per iteration (§2.1), at
-// the cost of possibly irregular convergence.
+// the cost of possibly irregular convergence. Two merge rounds per
+// iteration (sigma, then the batched norm + rho).
 func CGS(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
 		return st, nil
 	}
-	rt := r.Clone()
-	pv := r.Clone()
-	u := r.Clone()
-	qv := darray.NewAligned(b)
-	vh := darray.NewAligned(b)
-	uq := darray.NewAligned(b)
-	rho := o.dot(rt, r)
+	rt := w.take(b)
+	rt.CopyFrom(r)
+	pv := w.take(b)
+	pv.CopyFrom(r)
+	u := w.take(b)
+	u.CopyFrom(r)
+	qv := w.take(b)
+	vh := w.take(b)
+	uq := w.take(b)
+	rho := rnsq
+	var d [2]float64
 
 	for k := 1; k <= opt.MaxIter; k++ {
 		st.Iterations = k
 		o.apply(A, pv, vh)
-		sigma := o.dot(rt, vh)
+		sigma := o.mergeScalar(o.dotLocal(rt, vh))
 		if sigma == 0 {
 			return st, fmt.Errorf("%w: r̃·Ap = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -317,9 +581,10 @@ func CGS(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats
 		o.axpy(uq, 1, qv) // uq = u + q
 		o.axpy(x, alpha, uq)
 		o.apply(A, uq, vh)
-		o.axpy(r, -alpha, vh)
-		rn = r.Norm2()
-		st.DotProducts++
+		d[0] = o.axpyNormSqLocal(r, -alpha, vh)
+		d[1] = o.dotLocal(rt, r)
+		o.merge(d[:])
+		rn = math.Sqrt(d[0])
 		rel := rn / bn
 		o.record(rel, opt)
 		if rel <= opt.Tol {
@@ -328,7 +593,7 @@ func CGS(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats
 			return st, nil
 		}
 		rho0 := rho
-		rho = o.dot(rt, r)
+		rho = d[1]
 		if rho == 0 || rho0 == 0 {
 			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -344,32 +609,37 @@ func CGS(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats
 }
 
 // BiCGSTAB is the stabilized variant: no A^T, two forward products and
-// four inner products per iteration — the paper's note about demand on
-// the DOT_PRODUCT intrinsic, visible here as four allreduce merges per
-// loop.
+// five inner products per iteration — the paper's note about demand on
+// the DOT_PRODUCT intrinsic. Batching pairs them into three allreduce
+// merges per loop: r̃·Ap, then {t·t, t·s}, then the norm with r̃·r.
 func BiCGSTAB(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (Stats, error) {
 	opt = opt.withDefaults(A.N())
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
 
-	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
 		return st, nil
 	}
-	rt := r.Clone()
-	pv := r.Clone()
-	v := darray.NewAligned(b)
-	s := darray.NewAligned(b)
-	tv := darray.NewAligned(b)
-	rho := o.dot(rt, r)
+	rt := w.take(b)
+	rt.CopyFrom(r)
+	pv := w.take(b)
+	pv.CopyFrom(r)
+	v := w.take(b)
+	s := w.take(b)
+	tv := w.take(b)
+	rho := rnsq
+	var d [2]float64
 
 	for k := 1; k <= opt.MaxIter; k++ {
 		st.Iterations = k
 		o.apply(A, pv, v)
-		rtv := o.dot(rt, v)
+		rtv := o.mergeScalar(o.dotLocal(rt, v))
 		if rtv == 0 {
 			return st, fmt.Errorf("%w: r̃·Ap = 0 at iteration %d", ErrBreakdown, k)
 		}
@@ -377,15 +647,18 @@ func BiCGSTAB(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (
 		s.CopyFrom(r)
 		o.axpy(s, -alpha, v)
 		o.apply(A, s, tv)
-		tt := o.dot(tv, tv)
+		d[0] = o.dotLocal(tv, tv)
+		d[1] = o.dotLocal(tv, s)
+		o.merge(d[:])
+		tt, ts := d[0], d[1]
 		var omega float64
 		if tt != 0 {
-			omega = o.dot(tv, s) / tt
+			omega = ts / tt
 		}
 		if omega == 0 {
 			o.axpy(x, alpha, pv)
 			r.CopyFrom(s)
-			rn = r.Norm2()
+			rn = math.Sqrt(o.mergeScalar(r.NormSqLocal()))
 			st.DotProducts++
 			rel := rn / bn
 			o.record(rel, opt)
@@ -399,9 +672,10 @@ func BiCGSTAB(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (
 		o.axpy(x, alpha, pv)
 		o.axpy(x, omega, s)
 		r.CopyFrom(s)
-		o.axpy(r, -omega, tv)
-		rn = r.Norm2()
-		st.DotProducts++
+		d[0] = o.axpyNormSqLocal(r, -omega, tv)
+		d[1] = o.dotLocal(rt, r)
+		o.merge(d[:])
+		rn = math.Sqrt(d[0])
 		rel := rn / bn
 		o.record(rel, opt)
 		if rel <= opt.Tol {
@@ -410,7 +684,7 @@ func BiCGSTAB(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options) (
 			return st, nil
 		}
 		rho0 := rho
-		rho = o.dot(rt, r)
+		rho = d[1]
 		if rho == 0 || rho0 == 0 {
 			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
 		}

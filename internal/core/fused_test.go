@@ -1,0 +1,274 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+)
+
+// TestCGUnfusedBitIdenticalToCG: the fusions inside CG (batched setup
+// norms, fused axpy+norm, rho reuse) reorder no floating-point
+// arithmetic, so the restructured CG and the literal Figure 2 baseline
+// must walk exactly the same iterates — same counts, same solution
+// bits, same recorded history.
+func TestCGUnfusedBitIdenticalToCG(t *testing.T) {
+	A := sparse.RandomSPD(60, 5, 21)
+	b := sparse.RandomVector(60, 8)
+	for _, np := range testNPs {
+		d := dist.NewBlock(60, np)
+		var solF, solU []float64
+		var stF, stU Stats
+		machine(np).Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSR(p, A, d)
+			bv := darray.New(p, d)
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			x1 := darray.New(p, d)
+			x2 := darray.New(p, d)
+			s1, err1 := CG(p, op, bv, x1, Options{Tol: 1e-10, History: true})
+			s2, err2 := CGUnfused(p, op, bv, x2, Options{Tol: 1e-10, History: true})
+			if err1 != nil || err2 != nil {
+				t.Errorf("np=%d: %v %v", np, err1, err2)
+				return
+			}
+			f1, f2 := x1.Gather(), x2.Gather()
+			if p.Rank() == 0 {
+				solF, solU, stF, stU = f1, f2, s1, s2
+			}
+		})
+		if stF.Iterations != stU.Iterations {
+			t.Fatalf("np=%d: fused %d iterations, unfused %d", np, stF.Iterations, stU.Iterations)
+		}
+		for g := range solF {
+			if solF[g] != solU[g] {
+				t.Fatalf("np=%d: solutions differ at %d: %v vs %v", np, g, solF[g], solU[g])
+			}
+		}
+		for i := range stF.History {
+			if stF.History[i] != stU.History[i] {
+				t.Fatalf("np=%d: history differs at %d: %v vs %v", np, i, stF.History[i], stU.History[i])
+			}
+		}
+	}
+}
+
+// TestCGReductionRounds: the communication-avoidance ledger. CG merges
+// twice per iteration (fused mat-vec dot, fused norm-and-rho) plus the
+// one batched setup round; CGUnfused pays the textbook three per
+// iteration plus three at setup; CGFused pays one per iteration plus
+// at most a few explicit-norm recomputations near convergence.
+func TestCGReductionRounds(t *testing.T) {
+	A := sparse.Laplace2D(8, 8)
+	b := sparse.RandomVector(A.NRows, 3)
+	d := dist.NewBlock(A.NRows, 4)
+	machine(4).Run(func(p *comm.Proc) {
+		op := spmv.NewRowBlockCSR(p, A, d)
+		bv := darray.New(p, d)
+		bv.SetGlobal(func(g int) float64 { return b[g] })
+		opt := Options{Tol: 1e-10}
+
+		x := darray.New(p, d)
+		st, err := CG(p, op, bv, x, opt)
+		if err != nil {
+			t.Errorf("CG: %v", err)
+			return
+		}
+		if want := 1 + 2*st.Iterations; st.Reductions != want {
+			t.Errorf("CG: %d reductions over %d iterations, want %d (2/iter + setup)", st.Reductions, st.Iterations, want)
+		}
+
+		x = darray.New(p, d)
+		st, err = CGUnfused(p, op, bv, x, opt)
+		if err != nil {
+			t.Errorf("CGUnfused: %v", err)
+			return
+		}
+		// 3 setup rounds + 3 per iteration, except the converged final
+		// iteration returns before its rho recompute round.
+		if want := 2 + 3*st.Iterations; st.Reductions != want {
+			t.Errorf("CGUnfused: %d reductions over %d iterations, want %d (3/iter + setup - 1)", st.Reductions, st.Iterations, want)
+		}
+
+		x = darray.New(p, d)
+		st, err = CGFused(p, op, bv, x, opt)
+		if err != nil {
+			t.Errorf("CGFused: %v", err)
+			return
+		}
+		lo, hi := 1+st.Iterations, 1+st.Iterations+3
+		if st.Reductions < lo || st.Reductions > hi {
+			t.Errorf("CGFused: %d reductions over %d iterations, want within [%d, %d] (1/iter + setup + end-game norms)",
+				st.Reductions, st.Iterations, lo, hi)
+		}
+	})
+}
+
+// TestCGFusedSolvesLikeCG: the single-reduction variant follows a
+// different floating-point trajectory, but it must converge to the same
+// solution within tolerance and in a comparable number of iterations.
+func TestCGFusedSolvesLikeCG(t *testing.T) {
+	mats := map[string]*sparse.CSR{
+		"laplace2d": sparse.Laplace2D(8, 8),
+		"random":    sparse.RandomSPD(60, 5, 21),
+	}
+	for name, A := range mats {
+		b := sparse.RandomVector(A.NRows, 5)
+		for _, np := range []int{1, 3, 4} {
+			d := dist.NewBlock(A.NRows, np)
+			var ref, sol []float64
+			var stCG, stF Stats
+			machine(np).Run(func(p *comm.Proc) {
+				op := spmv.NewRowBlockCSR(p, A, d)
+				bv := darray.New(p, d)
+				bv.SetGlobal(func(g int) float64 { return b[g] })
+				x1 := darray.New(p, d)
+				x2 := darray.New(p, d)
+				s1, err1 := CG(p, op, bv, x1, Options{Tol: 1e-10})
+				s2, err2 := CGFused(p, op, bv, x2, Options{Tol: 1e-10})
+				if err1 != nil || err2 != nil {
+					t.Errorf("%s np=%d: %v %v", name, np, err1, err2)
+					return
+				}
+				f1, f2 := x1.Gather(), x2.Gather()
+				if p.Rank() == 0 {
+					ref, sol, stCG, stF = f1, f2, s1, s2
+				}
+			})
+			if !stF.Converged {
+				t.Fatalf("%s np=%d: CGFused did not converge: %v", name, np, stF)
+			}
+			if rr := relResidual(A, sol, b); rr > 1e-8 {
+				t.Errorf("%s np=%d: CGFused residual %g", name, np, rr)
+			}
+			if stF.Iterations > stCG.Iterations+5 {
+				t.Errorf("%s np=%d: CGFused took %d iterations, CG %d", name, np, stF.Iterations, stCG.Iterations)
+			}
+			for g := range sol {
+				if math.Abs(sol[g]-ref[g]) > 1e-6 {
+					t.Fatalf("%s np=%d: solutions differ at %d: %v vs %v", name, np, g, sol[g], ref[g])
+				}
+			}
+		}
+	}
+}
+
+// TestWorkspaceReuse: a workspace hands back the same vectors across
+// solves of the same shape, rebuilds on shape changes, and solves with
+// it are identical to solves without.
+func TestWorkspaceReuse(t *testing.T) {
+	A := sparse.Laplace2D(6, 6)
+	b := sparse.RandomVector(A.NRows, 9)
+	d := dist.NewBlock(A.NRows, 2)
+	machine(2).Run(func(p *comm.Proc) {
+		op := spmv.NewRowBlockCSR(p, A, d)
+		bv := darray.New(p, d)
+		bv.SetGlobal(func(g int) float64 { return b[g] })
+		ws := NewWorkspace()
+
+		x1 := darray.New(p, d)
+		st1, err := CG(p, op, bv, x1, Options{Tol: 1e-10, Work: ws})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		nvecs := len(ws.vecs)
+		x2 := darray.New(p, d)
+		st2, err := CG(p, op, bv, x2, Options{Tol: 1e-10, Work: ws})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		if len(ws.vecs) != nvecs {
+			t.Errorf("second same-shape solve grew the workspace: %d -> %d vectors", nvecs, len(ws.vecs))
+		}
+		if st1.Iterations != st2.Iterations {
+			t.Errorf("workspace reuse changed iterations: %d vs %d", st1.Iterations, st2.Iterations)
+		}
+		x3 := darray.New(p, d)
+		st3, err := CG(p, op, bv, x3, Options{Tol: 1e-10})
+		if err != nil {
+			t.Errorf("%v", err)
+			return
+		}
+		if st3.Iterations != st1.Iterations {
+			t.Errorf("workspace changed the arithmetic: %d vs %d iterations", st1.Iterations, st3.Iterations)
+		}
+		l1, l3 := x1.Local(), x3.Local()
+		for i := range l1 {
+			if l1[i] != l3[i] {
+				t.Errorf("workspace changed the solution at local %d", i)
+			}
+		}
+
+		// Shape change: a smaller aligned problem rebuilds cleanly.
+		d2 := dist.NewBlock(16, 2)
+		proto := darray.New(p, d2)
+		v := ws.begin().take(proto)
+		if v.Len() != 16 {
+			t.Errorf("shape change: got vector of length %d", v.Len())
+		}
+	})
+}
+
+// TestCGSteadyStateIterationsNoAllocs is the tentpole's acceptance
+// guard: with a Workspace, pooled collectives, and the operators'
+// reusable gather buffers, a steady-state CG iteration performs zero
+// heap allocations on every rank. Measured as a delta — a 40-iteration
+// solve must allocate no more than a 10-iteration solve, so per-solve
+// constants (Stats, the workspace warm-up, gather targets) cancel and
+// only per-iteration allocations would fail the bound.
+func TestCGSteadyStateIterationsNoAllocs(t *testing.T) {
+	A := sparse.Laplace2D(16, 16)
+	n := A.NRows
+	const np = 4
+	d := dist.NewBlock(n, np)
+	b := sparse.RandomVector(n, 7)
+
+	solvers := map[string]func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector, opt Options) (Stats, error){
+		"cg": func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector, opt Options) (Stats, error) {
+			return CG(p, op, bv, xv, opt)
+		},
+		"cgfused": func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector, opt Options) (Stats, error) {
+			return CGFused(p, op, bv, xv, opt)
+		},
+	}
+	for name, solve := range solvers {
+		allocsAt := func(iters int) float64 {
+			var allocs float64
+			machine(np).Run(func(p *comm.Proc) {
+				op := spmv.NewRowBlockCSR(p, A, d)
+				bv := darray.New(p, d)
+				bv.SetGlobal(func(g int) float64 { return b[g] })
+				xv := darray.New(p, d)
+				ws := NewWorkspace()
+				// Tol below reach so the solve always runs MaxIter
+				// iterations; one warm-up solve fills pools everywhere.
+				opt := Options{Tol: 1e-300, MaxIter: iters, Work: ws}
+				run := func() {
+					xv.Fill(0)
+					if _, err := solve(p, op, bv, xv, opt); err != nil {
+						t.Errorf("%s: %v", name, err)
+					}
+				}
+				run()
+				if p.Rank() == 0 {
+					allocs = testing.AllocsPerRun(2, run)
+				} else {
+					for i := 0; i < 3; i++ {
+						run()
+					}
+				}
+			})
+			return allocs
+		}
+		short, long := allocsAt(10), allocsAt(40)
+		if long > short+0.5 {
+			t.Errorf("%s: 40-iteration solve allocates %.1f, 10-iteration %.1f — iterations are hitting the heap (%.2f allocs/iter)",
+				name, long, short, (long-short)/30)
+		}
+	}
+}

@@ -26,11 +26,12 @@ func GMRES(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, restart int, opt 
 	if m > n {
 		m = n
 	}
-	var st Stats
-	o := ops{&st}
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
 
 	r := darray.NewAligned(b)
-	rn, bn := residual0(o, A, b, x, r)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
 	if rn/bn <= opt.Tol {
 		st.Converged = true
 		st.Residual = rn / bn
@@ -122,7 +123,8 @@ func GMRES(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, restart int, opt 
 			o.axpy(x, yv[j], V[j])
 		}
 
-		rn, _ = residual0(o, A, b, x, r)
+		rnsq, _ = residual0(o, A, b, x, r)
+		rn = math.Sqrt(rnsq)
 		rel := rn / bn
 		if rel <= opt.Tol {
 			st.Converged = true

@@ -25,9 +25,10 @@ import (
 
 // Vector is the per-processor view of a distributed vector.
 type Vector struct {
-	p   *comm.Proc
-	d   dist.Dist
-	loc []float64
+	p      *comm.Proc
+	d      dist.Dist
+	loc    []float64
+	counts []int // per-rank block sizes, cached so collectives don't rebuild them
 }
 
 // New creates a distributed vector of the given descriptor, zero
@@ -37,7 +38,7 @@ func New(p *comm.Proc, d dist.Dist) *Vector {
 	if d.NP() != p.NP() {
 		panic(fmt.Sprintf("darray: descriptor NP %d != machine NP %d", d.NP(), p.NP()))
 	}
-	return &Vector{p: p, d: d, loc: make([]float64, d.Count(p.Rank()))}
+	return &Vector{p: p, d: d, loc: make([]float64, d.Count(p.Rank())), counts: dist.Counts(d)}
 }
 
 // NewAligned creates a vector aligned with v (same descriptor) — HPF's
@@ -123,20 +124,50 @@ func (v *Vector) Scale(alpha float64) {
 	v.p.Compute(len(v.loc))
 }
 
-// Dot is the DOT_PRODUCT intrinsic: local element-wise products and
-// partial sum (no communication), then a t_s·log NP allreduce merge.
-func (v *Vector) Dot(x *Vector) float64 {
+// DotLocal is the element-wise phase of the DOT_PRODUCT intrinsic: the
+// local partial sum, with no communication. Solvers batch several
+// DotLocal partials into one comm.AllreduceScalars round — the
+// communication-avoiding form of Dot.
+func (v *Vector) DotLocal(x *Vector) float64 {
 	v.sameDist(x)
 	s := 0.0
 	for i := range v.loc {
 		s += v.loc[i] * x.loc[i]
 	}
 	v.p.Compute(2 * len(v.loc))
-	return v.p.AllreduceScalar(s, comm.OpSum)
+	return s
+}
+
+// NormSqLocal returns the local partial of ||v||².
+func (v *Vector) NormSqLocal() float64 { return v.DotLocal(v) }
+
+// Dot is the DOT_PRODUCT intrinsic: local element-wise products and
+// partial sum (no communication), then a t_s·log NP allreduce merge.
+func (v *Vector) Dot(x *Vector) float64 {
+	return v.p.AllreduceScalar(v.DotLocal(x), comm.OpSum)
 }
 
 // Norm2 returns the Euclidean norm sqrt(v . v).
 func (v *Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// AXPYNormSqLocal fuses v = v + alpha*x with the local partial of the
+// updated ||v||², in one pass over the vectors instead of two (the
+// Kronbichler-style data-locality fusion of CG's residual update with
+// its convergence norm). Per element the arithmetic is the update
+// followed by the square, exactly as AXPY-then-NormSqLocal computes it,
+// so the result is bit-identical; only the number of sweeps changes.
+// The flop charge (2n for the axpy + 2n for the norm) also matches the
+// unfused pair — the win is memory traffic, not flops.
+func (v *Vector) AXPYNormSqLocal(alpha float64, x *Vector) float64 {
+	v.sameDist(x)
+	s := 0.0
+	for i := range v.loc {
+		v.loc[i] += alpha * x.loc[i]
+		s += v.loc[i] * v.loc[i]
+	}
+	v.p.Compute(4 * len(v.loc))
+	return s
+}
 
 // Sum is the HPF SUM intrinsic over the whole vector.
 func (v *Vector) Sum() float64 {
@@ -165,16 +196,28 @@ func (v *Vector) MaxAbs() float64 {
 // Cost: (NP-1) ring steps of ~n/NP elements each. For non-contiguous
 // (CYCLIC) descriptors the gathered blocks are permuted back into
 // global order locally.
-func (v *Vector) Gather() []float64 {
-	counts := dist.Counts(v.d)
-	packed := v.p.AllgatherV(v.loc, counts)
-	if _, contiguous := v.d.(dist.Contiguous); contiguous {
-		return packed
+func (v *Vector) Gather() []float64 { return v.GatherInto(nil) }
+
+// GatherInto is Gather writing into a caller-provided full-length
+// buffer (allocated when nil), so a mat-vec that gathers p every
+// iteration reuses one buffer and the steady state allocates nothing.
+// For contiguous descriptors the allgather writes the buffer directly;
+// CYCLIC descriptors still allocate a packed intermediate for the
+// permutation.
+func (v *Vector) GatherInto(full []float64) []float64 {
+	if full != nil && len(full) != v.d.N() {
+		panic(fmt.Sprintf("darray: GatherInto buffer length %d != %d", len(full), v.d.N()))
 	}
-	full := make([]float64, v.d.N())
+	if _, contiguous := v.d.(dist.Contiguous); contiguous {
+		return v.p.AllgatherVInto(v.loc, v.counts, full)
+	}
+	packed := v.p.AllgatherV(v.loc, v.counts)
+	if full == nil {
+		full = make([]float64, v.d.N())
+	}
 	off := 0
 	for r := 0; r < v.d.NP(); r++ {
-		for l := 0; l < counts[r]; l++ {
+		for l := 0; l < v.counts[r]; l++ {
 			full[v.d.Global(r, l)] = packed[off]
 			off++
 		}
@@ -184,7 +227,7 @@ func (v *Vector) Gather() []float64 {
 
 // ScatterFrom distributes a full global vector held at root into v.
 func (v *Vector) ScatterFrom(root int, full []float64) {
-	counts := dist.Counts(v.d)
+	counts := v.counts
 	var packed []float64
 	if v.p.Rank() == root {
 		if len(full) != v.d.N() {
@@ -215,7 +258,7 @@ func (v *Vector) ReduceScatterFrom(priv []float64) {
 	if _, contiguous := v.d.(dist.Contiguous); !contiguous {
 		panic("darray: ReduceScatterFrom requires a contiguous descriptor")
 	}
-	counts := dist.Counts(v.d)
+	counts := v.counts
 	copy(v.loc, v.p.ReduceScatterSum(priv, counts))
 }
 

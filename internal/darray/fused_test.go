@@ -1,0 +1,106 @@
+package darray
+
+import (
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/topology"
+)
+
+// TestAXPYNormSqLocalBitIdentical: the fused update-and-norm must match
+// AXPY followed by NormSqLocal exactly — same per-element arithmetic
+// order, just one sweep — on every processor count and for CYCLIC as
+// well as BLOCK layouts.
+func TestAXPYNormSqLocalBitIdentical(t *testing.T) {
+	const n = 57
+	mk := func(name string, np int) dist.Dist {
+		if name == "cyclic" {
+			return dist.NewCyclic(n, np)
+		}
+		return dist.NewBlock(n, np)
+	}
+	for _, layout := range []string{"block", "cyclic"} {
+		for _, np := range []int{1, 2, 3, 4, 8} {
+			d := mk(layout, np)
+			comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams()).Run(func(p *comm.Proc) {
+				y1 := New(p, d)
+				y2 := New(p, d)
+				x := New(p, d)
+				y1.SetGlobal(func(g int) float64 { return 1.0 / float64(g+2) })
+				y2.CopyFrom(y1)
+				x.SetGlobal(func(g int) float64 { return float64(g*g%13) - 6.5 })
+				const alpha = -0.37
+
+				y1.AXPY(alpha, x)
+				want := y1.NormSqLocal()
+				got := y2.AXPYNormSqLocal(alpha, x)
+
+				if got != want {
+					t.Errorf("%s np=%d rank=%d: fused partial %v != unfused %v", layout, np, p.Rank(), got, want)
+				}
+				l1, l2 := y1.Local(), y2.Local()
+				for i := range l1 {
+					if l1[i] != l2[i] {
+						t.Errorf("%s np=%d rank=%d: y differs at local %d", layout, np, p.Rank(), i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestAXPYNormSqLocalFlopCharge: the fused sweep charges exactly the
+// flops of the pair it replaces (2n axpy + 2n norm).
+func TestAXPYNormSqLocalFlopCharge(t *testing.T) {
+	const n = 64
+	d := dist.NewBlock(n, 4)
+	run := func(fused bool) int64 {
+		return comm.NewMachine(4, topology.Hypercube{}, topology.DefaultCostParams()).Run(func(p *comm.Proc) {
+			y := New(p, d)
+			x := New(p, d)
+			x.Fill(1)
+			if fused {
+				y.AXPYNormSqLocal(0.5, x)
+			} else {
+				y.AXPY(0.5, x)
+				y.NormSqLocal()
+			}
+		}).TotalFlops
+	}
+	if f, u := run(true), run(false); f != u {
+		t.Errorf("fused charges %d flops, AXPY+NormSqLocal charges %d", f, u)
+	}
+}
+
+// TestGatherIntoMatchesGather: the buffer-reusing gather fills the
+// caller's buffer with exactly Gather's result for both contiguous and
+// cyclic layouts.
+func TestGatherIntoMatchesGather(t *testing.T) {
+	const n = 41
+	for _, layout := range []string{"block", "cyclic"} {
+		for _, np := range []int{1, 3, 4} {
+			var d dist.Dist
+			if layout == "cyclic" {
+				d = dist.NewCyclic(n, np)
+			} else {
+				d = dist.NewBlock(n, np)
+			}
+			comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams()).Run(func(p *comm.Proc) {
+				v := New(p, d)
+				v.SetGlobal(func(g int) float64 { return float64(3*g + 1) })
+				want := v.Gather()
+				buf := make([]float64, n)
+				got := v.GatherInto(buf)
+				if &got[0] != &buf[0] {
+					t.Errorf("%s np=%d: GatherInto did not use the provided buffer", layout, np)
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Errorf("%s np=%d: element %d: %v vs %v", layout, np, i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}

@@ -41,6 +41,9 @@ type Schedule struct {
 	sendTo [][]int
 
 	nGhost int
+	// ghosts is the reusable receive buffer Exchange returns, so the
+	// executor steady state allocates nothing.
+	ghosts []float64
 }
 
 // Build runs the inspector: needs lists the global indices the caller
@@ -75,6 +78,7 @@ func Build(p *comm.Proc, d dist.Dist, needs []int) *Schedule {
 		recvStart: make([]int, np+1),
 		sendTo:    make([][]int, np),
 		nGhost:    len(remote),
+		ghosts:    make([]float64, len(remote)),
 	}
 
 	// Group requests by owner; remote is sorted so each owner's request
@@ -139,6 +143,9 @@ const tagGhost = 201
 // processor pairs that actually share halo elements exchange messages.
 // Collective (in the sense that every processor must call it);
 // reusable any number of times — the schedule-reuse of ref [20].
+// The returned slice is the schedule's own buffer, valid until the next
+// Exchange; sends draw on the processor's buffer pool and received
+// messages are recycled into it, so the steady state allocates nothing.
 func (s *Schedule) Exchange(local []float64) []float64 {
 	np := s.p.NP()
 	r := s.p.Rank()
@@ -146,13 +153,12 @@ func (s *Schedule) Exchange(local []float64) []float64 {
 		if len(offs) == 0 {
 			continue
 		}
-		buf := make([]float64, len(offs))
+		buf := s.p.GetBuf(len(offs))
 		for i, off := range offs {
 			buf[i] = local[off]
 		}
 		s.p.SendFloats(dst, tagGhost, buf)
 	}
-	ghosts := make([]float64, s.nGhost)
 	for off := 1; off < np; off++ {
 		src := (r - off + np) % np
 		if s.recvCount[src] == 0 {
@@ -162,7 +168,8 @@ func (s *Schedule) Exchange(local []float64) []float64 {
 		if len(part) != s.recvCount[src] {
 			panic(fmt.Sprintf("inspector: expected %d ghosts from %d, got %d", s.recvCount[src], src, len(part)))
 		}
-		copy(ghosts[s.recvStart[src]:s.recvStart[src+1]], part)
+		copy(s.ghosts[s.recvStart[src]:s.recvStart[src+1]], part)
+		s.p.PutBuf(part)
 	}
-	return ghosts
+	return s.ghosts
 }

@@ -1,0 +1,44 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Snapshot is the machine-readable record of one experiment run — the
+// benchmark regression format behind `cgbench -json`. Committed
+// BENCH_*.json files let a later change diff its tables against a
+// known-good run instead of eyeballing rendered text.
+type Snapshot struct {
+	// Experiment is the registry ID (e.g. "E19").
+	Experiment string `json:"experiment"`
+	// Timestamp is when the run happened, RFC 3339.
+	Timestamp string `json:"timestamp"`
+	// Config describes the run parameters that shaped the numbers
+	// (quick mode, topology, seed).
+	Config map[string]any `json:"config,omitempty"`
+	// Tables are the experiment's outputs, verbatim.
+	Tables []*Table `json:"tables"`
+}
+
+// WriteSnapshot serialises the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshots parses a stream of concatenated snapshots (the format
+// an appending `cgbench -json` run produces).
+func ReadSnapshots(r io.Reader) ([]*Snapshot, error) {
+	dec := json.NewDecoder(r)
+	var out []*Snapshot
+	for dec.More() {
+		var s Snapshot
+		if err := dec.Decode(&s); err != nil {
+			return out, err
+		}
+		out = append(out, &s)
+	}
+	return out, nil
+}

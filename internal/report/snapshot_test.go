@@ -1,0 +1,51 @@
+package report
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSnapshotRoundTrip: the appended-snapshot stream `cgbench -json`
+// produces must parse back into the same tables.
+func TestSnapshotRoundTrip(t *testing.T) {
+	mk := func(id string) *Snapshot {
+		tab := &Table{
+			ID:     id,
+			Title:  "round trip",
+			Header: []string{"np", "t"},
+			Notes:  []string{"a note"},
+		}
+		tab.AddRowf(4, 1.5)
+		return &Snapshot{
+			Experiment: id,
+			Timestamp:  "2026-08-06T00:00:00Z",
+			Config:     map[string]any{"quick": true},
+			Tables:     []*Table{tab},
+		}
+	}
+	var buf bytes.Buffer
+	for _, id := range []string{"E19", "E5"} {
+		if err := mk(id).Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps, err := ReadSnapshots(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("got %d snapshots, want 2", len(snaps))
+	}
+	for i, id := range []string{"E19", "E5"} {
+		s := snaps[i]
+		if s.Experiment != id {
+			t.Errorf("snapshot %d: experiment %q, want %q", i, s.Experiment, id)
+		}
+		if len(s.Tables) != 1 || s.Tables[0].ID != id {
+			t.Errorf("snapshot %d: tables did not round-trip: %+v", i, s.Tables)
+		}
+		if got := s.Tables[0].Rows[0][1]; got != "1.5" {
+			t.Errorf("snapshot %d: row cell %q, want 1.5", i, got)
+		}
+	}
+}

@@ -95,3 +95,31 @@ func (a *RowBlockCSRGhost) Apply(x, y *darray.Vector) {
 	}
 	a.p.Compute(2 * a.nnzLocal)
 }
+
+// ApplyDot implements FusedOperator: the halo exchange and row loop of
+// Apply with the local x·y partial accumulated in the same pass (see
+// RowBlockCSR.ApplyDot for the bit-identity argument).
+func (a *RowBlockCSRGhost) ApplyDot(x, y *darray.Vector) float64 {
+	checkAligned("RowBlockCSRGhost.ApplyDot", a.d, x, y)
+	xl := x.Local()
+	ghosts := a.sched.Exchange(xl)
+	yl := y.Local()
+	dot := 0.0
+	for i := range yl {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			c := a.colLocal[k]
+			var xv float64
+			if c >= 0 {
+				xv = xl[c]
+			} else {
+				xv = ghosts[-c-1]
+			}
+			s += a.val[k] * xv
+		}
+		yl[i] = s
+		dot += xl[i] * s
+	}
+	a.p.Compute(2*a.nnzLocal + 2*len(yl))
+	return dot
+}

@@ -62,6 +62,19 @@ type TransposeOperator interface {
 	ApplyT(x, y *darray.Vector)
 }
 
+// FusedOperator is an Operator that can compute y = A*x and the local
+// partial of the inner product x·y in one pass over the matrix — CG's
+// p·Ap without a second sweep over q. The returned value is only the
+// local partial; the caller merges it (typically batched with other
+// partials in one comm.AllreduceScalars round). Implementations must
+// produce a partial bit-identical to Apply followed by x.DotLocal(y)
+// and charge the same flops, so fused and unfused solves agree exactly.
+type FusedOperator interface {
+	Operator
+	// ApplyDot computes y = A*x and returns the local partial of x·y.
+	ApplyDot(x, y *darray.Vector) float64
+}
+
 // Mode selects how the column-partitioned many-to-one accumulation is
 // executed (see the package comment).
 type Mode int
@@ -105,6 +118,7 @@ type RowBlockCSR struct {
 	n        int
 	nnz      int
 	nnzLocal int
+	xfull    []float64 // reusable gather target: Apply allocates nothing in steady state
 }
 
 // NewRowBlockCSR slices processor p's row strip out of the global
@@ -135,6 +149,7 @@ func NewRowBlockCSR(p *comm.Proc, A *sparse.CSR, d dist.Contiguous) *RowBlockCSR
 		n:        A.NRows,
 		nnz:      A.NNZ(),
 		nnzLocal: A.RowPtr[hi] - base,
+		xfull:    make([]float64, A.NRows),
 	}
 }
 
@@ -151,7 +166,7 @@ func (a *RowBlockCSR) LocalNNZ() int { return a.nnzLocal }
 // Figure 2 FORALL over j with the inner DO over row(j):row(j+1)-1.
 func (a *RowBlockCSR) Apply(x, y *darray.Vector) {
 	checkAligned("RowBlockCSR.Apply", a.d, x, y)
-	xFull := x.Gather()
+	xFull := x.GatherInto(a.xfull)
 	yl := y.Local()
 	for i := range yl {
 		s := 0.0
@@ -161,6 +176,30 @@ func (a *RowBlockCSR) Apply(x, y *darray.Vector) {
 		yl[i] = s
 	}
 	a.p.Compute(2 * a.nnzLocal)
+}
+
+// ApplyDot implements FusedOperator: the same gather + row loop as
+// Apply, with the local x·y partial accumulated as each y element is
+// produced. Each row's s is the identical expression Apply computes and
+// the partial adds xl[i]*s in ascending row order, exactly as
+// x.DotLocal(y) would after Apply — so fused and unfused CG iterates
+// agree bit for bit. Flop charge is Apply's 2·nnz plus DotLocal's 2·n.
+func (a *RowBlockCSR) ApplyDot(x, y *darray.Vector) float64 {
+	checkAligned("RowBlockCSR.ApplyDot", a.d, x, y)
+	xFull := x.GatherInto(a.xfull)
+	xl := x.Local()
+	yl := y.Local()
+	dot := 0.0
+	for i := range yl {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			s += a.val[k] * xFull[a.col[k]]
+		}
+		yl[i] = s
+		dot += xl[i] * s
+	}
+	a.p.Compute(2*a.nnzLocal + 2*len(yl))
+	return dot
 }
 
 // ApplyT implements TransposeOperator. The local rows of A are columns
@@ -195,6 +234,7 @@ type ColBlockCSC struct {
 	nnz      int
 	nnzLocal int
 	mode     Mode
+	xfull    []float64 // reusable gather target for ApplyT
 }
 
 // NewColBlockCSC slices processor p's column strip out of A.
@@ -225,6 +265,7 @@ func NewColBlockCSC(p *comm.Proc, A *sparse.CSC, d dist.Contiguous, mode Mode) *
 		nnz:      A.NNZ(),
 		nnzLocal: A.ColPtr[hi] - base,
 		mode:     mode,
+		xfull:    make([]float64, A.NRows),
 	}
 }
 
@@ -303,7 +344,7 @@ func (a *ColBlockCSC) applyPrivateMerge(x, y *darray.Vector) {
 // then a purely local row loop over A^T's rows.
 func (a *ColBlockCSC) ApplyT(x, y *darray.Vector) {
 	checkAligned("ColBlockCSC.ApplyT", a.d, x, y)
-	xFull := x.Gather()
+	xFull := x.GatherInto(a.xfull)
 	yl := y.Local()
 	for j := range yl {
 		s := 0.0
@@ -318,11 +359,12 @@ func (a *ColBlockCSC) ApplyT(x, y *darray.Vector) {
 // DenseRowBlock is Scenario 1 with dense storage (Figure 3):
 // A distributed (BLOCK, *).
 type DenseRowBlock struct {
-	p    *comm.Proc
-	d    dist.Contiguous
-	lo   int
-	rows [][]float64 // local rows (views into A)
-	n    int
+	p     *comm.Proc
+	d     dist.Contiguous
+	lo    int
+	rows  [][]float64 // local rows (views into A)
+	n     int
+	xfull []float64 // reusable gather target: Apply allocates nothing in steady state
 }
 
 // NewDenseRowBlock slices processor p's row strip out of dense A.
@@ -336,7 +378,7 @@ func NewDenseRowBlock(p *comm.Proc, A *sparse.Dense, d dist.Contiguous) *DenseRo
 	for i := range rows {
 		rows[i] = A.Row(lo + i)
 	}
-	return &DenseRowBlock{p: p, d: d, lo: lo, rows: rows, n: A.NRows}
+	return &DenseRowBlock{p: p, d: d, lo: lo, rows: rows, n: A.NRows, xfull: make([]float64, A.NRows)}
 }
 
 // N implements Operator.
@@ -348,7 +390,7 @@ func (a *DenseRowBlock) NNZ() int { return a.n * a.n }
 // Apply implements Operator: allgather p, local dense row loop.
 func (a *DenseRowBlock) Apply(x, y *darray.Vector) {
 	checkAligned("DenseRowBlock.Apply", a.d, x, y)
-	xFull := x.Gather()
+	xFull := x.GatherInto(a.xfull)
 	yl := y.Local()
 	for i, row := range a.rows {
 		s := 0.0
@@ -358,6 +400,26 @@ func (a *DenseRowBlock) Apply(x, y *darray.Vector) {
 		yl[i] = s
 	}
 	a.p.Compute(2 * a.n * len(a.rows))
+}
+
+// ApplyDot implements FusedOperator (see RowBlockCSR.ApplyDot for the
+// bit-identity argument).
+func (a *DenseRowBlock) ApplyDot(x, y *darray.Vector) float64 {
+	checkAligned("DenseRowBlock.ApplyDot", a.d, x, y)
+	xFull := x.GatherInto(a.xfull)
+	xl := x.Local()
+	yl := y.Local()
+	dot := 0.0
+	for i, row := range a.rows {
+		s := 0.0
+		for j, v := range row {
+			s += v * xFull[j]
+		}
+		yl[i] = s
+		dot += xl[i] * s
+	}
+	a.p.Compute(2*a.n*len(a.rows) + 2*len(yl))
+	return dot
 }
 
 // ApplyT implements TransposeOperator via private accumulation and

@@ -157,6 +157,12 @@ func TestCriticalPathBoundsMakespan(t *testing.T) {
 		"bcast":      func(p *comm.Proc, _ []int) { p.BcastFloats(0, make([]float64, 32)) },
 		"reduce":     func(p *comm.Proc, _ []int) { p.Reduce(0, make([]float64, 32), comm.OpSum) },
 		"allreduce":  func(p *comm.Proc, _ []int) { p.Allreduce(make([]float64, 32), comm.OpMax) },
+		"allreduce-tree": func(p *comm.Proc, _ []int) {
+			p.AllreduceWith(make([]float64, 64), comm.OpSum, comm.AlgoTree)
+		},
+		"allreduce-rec": func(p *comm.Proc, _ []int) {
+			p.AllreduceWith(make([]float64, 64), comm.OpSum, comm.AlgoRecursive)
+		},
 		"gatherv":    func(p *comm.Proc, c []int) { p.GatherV(0, make([]float64, c[p.Rank()]), c) },
 		"scatterv":   func(p *comm.Proc, c []int) { p.ScatterV(0, scatterFull(p, c), c) },
 		"allgatherv": func(p *comm.Proc, c []int) { p.AllgatherV(make([]float64, c[p.Rank()]), c) },
