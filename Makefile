@@ -21,18 +21,21 @@ test:
 # The SPMD machine runs every virtual processor as a goroutine and the
 # tracer writes per-rank logs from all of them; the solvers and the
 # mat-vec kernels now share pooled buffers and workspaces across those
-# goroutines, so they race-test too.
+# goroutines, so they race-test too. The fault injector and the
+# checkpoint store are shared across ranks and restart attempts, so
+# internal/fault and the resilient hpfexec driver join the pass.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/...
 
 check: build vet test race
 
 # Modeled-machine benchmarks (send path allocation counts included),
-# plus the E19 communication-avoidance smoke run with a JSON snapshot
-# for regression diffing.
+# plus the E19 communication-avoidance and E20 resilience smoke runs
+# with JSON snapshots for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
+	$(GO) run ./cmd/cgbench -exp E20 -quick -json BENCH_E20_quick.json
 
 # Small-size smoke run of every experiment.
 quick:

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"hpfcg/internal/bench"
+	"hpfcg/internal/fault"
 	"hpfcg/internal/report"
 	"hpfcg/internal/topology"
 )
@@ -31,6 +32,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonPath = flag.String("json", "", "append per-experiment JSON snapshots to this file (BENCH_*.json)")
 		seed     = flag.Int64("seed", 1996, "matrix generator seed")
+		faultStr = flag.String("fault", "", `fault spec injected into every machine, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 	)
 	flag.Parse()
 
@@ -42,6 +44,17 @@ func main() {
 		fatal(err)
 	}
 	cfg.Topo = t
+	if *faultStr != "" {
+		plan, err := fault.Parse(*faultStr)
+		if err != nil {
+			fatal(err)
+		}
+		inj, err := fault.NewInjector(plan)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Injector = inj
+	}
 
 	var jsonOut *os.File
 	if *jsonPath != "" {

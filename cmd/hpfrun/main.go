@@ -19,6 +19,7 @@ import (
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/core"
+	"hpfcg/internal/fault"
 	"hpfcg/internal/hpf"
 	"hpfcg/internal/hpfexec"
 	"hpfcg/internal/report"
@@ -63,6 +64,10 @@ func main() {
 		demo       = flag.String("demo", "", "built-in directive program: csr | csc-serial | csc-merge | balanced")
 		commMatrix = flag.Bool("commmatrix", false, "print the communication matrix")
 		timeout    = flag.Duration("timeout", 0, "abort a deadlocked SPMD solve after this long (0 = wait forever)")
+		faultStr   = flag.String("fault", "", `fault spec, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
+		resilient  = flag.Bool("resilient", false, "survive injected crashes via checkpoint/restart (SolveCGResilient)")
+		ckpt       = flag.Int("ckpt", 10, "checkpoint every N iterations (with -resilient)")
+		restarts   = flag.Int("restarts", 3, "max restart attempts after failures (with -resilient)")
 	)
 	flag.Parse()
 
@@ -115,10 +120,34 @@ func main() {
 		fatal(err)
 	}
 	m := comm.NewMachine(*np, topo, topology.DefaultCostParams())
+	if *faultStr != "" {
+		fp, err := fault.Parse(*faultStr)
+		if err != nil {
+			fatal(err)
+		}
+		inj, err := fault.NewInjector(fp)
+		if err != nil {
+			fatal(err)
+		}
+		m.AttachInjector(inj)
+	}
 	var res *hpfexec.Result
-	if *timeout > 0 {
+	switch {
+	case *resilient:
+		rres, rerr := hpfexec.SolveCGResilient(m, plan, A, b, core.Options{Tol: *tol},
+			hpfexec.ResilientOptions{Interval: *ckpt, MaxRestarts: *restarts})
+		if rerr != nil {
+			fatal(rerr)
+		}
+		res = &rres.Result
+		fmt.Printf("faults:   attempts=%d failures=%d lost_iters=%d mission_t=%.6gs\n",
+			rres.Attempts, len(rres.Failures), rres.LostIterations, rres.TotalModelTime)
+		for _, pf := range rres.Failures {
+			fmt.Printf("          %v\n", pf)
+		}
+	case *timeout > 0:
 		res, err = hpfexec.SolveCGTimeout(m, plan, A, b, core.Options{Tol: *tol}, *timeout)
-	} else {
+	default:
 		res, err = hpfexec.SolveCG(m, plan, A, b, core.Options{Tol: *tol})
 	}
 	if err != nil {

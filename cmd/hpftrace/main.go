@@ -25,6 +25,7 @@ import (
 	"path/filepath"
 
 	"hpfcg/internal/bench"
+	"hpfcg/internal/fault"
 	"hpfcg/internal/topology"
 	"hpfcg/internal/trace"
 )
@@ -41,6 +42,7 @@ func main() {
 		noTimeline = flag.Bool("notimeline", false, "skip the ASCII timeline")
 		noMatrix   = flag.Bool("nomatrix", false, "skip the communication matrix tables")
 		noTables   = flag.Bool("notables", false, "suppress the experiment's own tables")
+		faultStr   = flag.String("fault", "", `fault spec injected into every machine, e.g. "straggle:rank=1,x=4"`)
 	)
 	flag.Parse()
 
@@ -54,6 +56,17 @@ func main() {
 	cfg.Topo = topo
 	tracer := &trace.Tracer{}
 	cfg.Tracer = tracer
+	if *faultStr != "" {
+		plan, err := fault.Parse(*faultStr)
+		if err != nil {
+			fatal(err)
+		}
+		inj, err := fault.NewInjector(plan)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Injector = inj
+	}
 
 	runner, err := bench.Get(*exp)
 	if err != nil {

@@ -31,6 +31,12 @@ type Config struct {
 	// it, so any experiment gains event-level drill-down (see
 	// cmd/hpftrace) without the runner knowing about tracing.
 	Tracer *trace.Tracer
+	// Injector, when non-nil, is attached to every machine the
+	// experiment builds (cmd/cgbench's -fault flag): the same
+	// deterministic fault plan is replayed against whatever the
+	// experiment runs. Experiments that manage their own fault
+	// schedule (E20) override it per machine.
+	Injector comm.Injector
 }
 
 // DefaultConfig returns the configuration the committed EXPERIMENTS.md
@@ -47,6 +53,9 @@ func (c Config) machine(np int) *comm.Machine {
 	m := comm.NewMachine(np, c.Topo, c.Cost)
 	if c.Tracer != nil {
 		m.AttachTracer(c.Tracer)
+	}
+	if c.Injector != nil {
+		m.AttachInjector(c.Injector)
 	}
 	return m
 }
@@ -83,6 +92,7 @@ var experiments = map[string]Runner{
 	"E17": E17,
 	"E18": E18,
 	"E19": E19,
+	"E20": E20,
 }
 
 // IDs lists the experiment identifiers in run order.

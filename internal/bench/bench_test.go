@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bytes"
+	"math"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,10 +16,10 @@ func quickCfg() Config {
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("%d experiments registered, want 19", len(ids))
+	if len(ids) != 20 {
+		t.Fatalf("%d experiments registered, want 20", len(ids))
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E19" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E20" {
 		t.Errorf("order wrong: %v", ids)
 	}
 }
@@ -436,5 +437,68 @@ func TestExperimentTableCSV(t *testing.T) {
 	}
 	if dataLines != len(tables[0].Rows)+1 {
 		t.Errorf("csv has %d data lines, want %d", dataLines, len(tables[0].Rows)+1)
+	}
+}
+
+// E20: resilience must be free when healthy (bit-identical solutions,
+// overhead only from checkpoint writes), and under injected crashes
+// the checkpointed solves must recover — with some work lost — while
+// still reproducing the fault-free answer (asserted inside the
+// runner). Checkpointing must beat restart-from-scratch when failures
+// actually strike.
+func TestE20ResilienceShape(t *testing.T) {
+	tables, err := E20(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("want 3 tables, got %d", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if row[8] != "true" {
+			t.Errorf("healthy resilient solve not bit-identical: %v", row)
+		}
+		over := parseF(t, row[7])
+		if over < 0 || over > 10 {
+			t.Errorf("checkpoint overhead %g%% outside [0, 10]: %v", over, row)
+		}
+	}
+	// Table 2: every recovery row completed; crashed rows lose work and
+	// slow down, and mission time is never below the healthy makespan.
+	sawCrash := false
+	for _, row := range tables[1].Rows {
+		crashes, _ := strconv.Atoi(row[3])
+		slow := parseF(t, row[7])
+		if crashes > 0 {
+			sawCrash = true
+			if slow <= 1 {
+				t.Errorf("crashes=%d but slowdown %g <= 1: %v", crashes, slow, row)
+			}
+		}
+		if slow < 0.99 {
+			t.Errorf("mission faster than healthy makespan: %v", row)
+		}
+	}
+	if !sawCrash {
+		t.Error("no crashes delivered across the whole MTBF sweep (plan misconfigured?)")
+	}
+	// Table 3: with failures striking, some checkpointed interval must
+	// beat interval=0 (restart from scratch).
+	var scratch float64
+	best := math.Inf(1)
+	crashed := false
+	for _, row := range tables[2].Rows {
+		mission := parseF(t, row[4])
+		if crashes, _ := strconv.Atoi(row[2]); crashes > 0 {
+			crashed = true
+		}
+		if row[1] == "0" {
+			scratch = mission
+		} else if mission < best {
+			best = mission
+		}
+	}
+	if crashed && best >= scratch {
+		t.Errorf("no checkpoint interval beats restart-from-scratch: best %g vs %g", best, scratch)
 	}
 }

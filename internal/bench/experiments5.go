@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/fault"
+	"hpfcg/internal/report"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+)
+
+// missionOutcome is one resilient solve driven to completion across
+// restart attempts.
+type missionOutcome struct {
+	attempts int
+	crashes  int
+	useful   int // CG iterations in the converged trajectory
+	lost     int // iterations computed by failed attempts and rolled back
+	mission  float64
+	final    float64 // model time of the successful attempt
+	sol      []float64
+	st       core.Stats
+}
+
+// runMission drives core.CGResilient under a fault plan until the
+// solve converges: each comm.PeerFailure advances the injector's
+// mission clock by the failed attempt's modeled time and restarts from
+// the newest complete checkpoint (the same loop hpfexec.SolveCGResilient
+// runs, kept inline here so E20 can account lost work per attempt).
+func runMission(cfg Config, A *sparse.CSR, b []float64, np, interval int, plan fault.Plan, opt core.Options) (missionOutcome, error) {
+	var out missionOutcome
+	inj, err := fault.NewInjector(plan)
+	if err != nil {
+		return out, err
+	}
+	d := dist.NewBlock(A.NRows, np)
+	store := core.NewCheckpointStore(np)
+	m := cfg.machine(np)
+	m.AttachInjector(inj)
+	var solveErr error
+	fn := func(p *comm.Proc) {
+		op := spmv.NewRowBlockCSRGhost(p, A, d)
+		bv := darray.New(p, d)
+		bv.SetGlobal(func(g int) float64 { return b[g] })
+		x := darray.New(p, d)
+		st, err := core.CGResilient(p, op, bv, x, opt,
+			core.Resilience{Store: store, Interval: interval})
+		full := x.Gather()
+		if p.Rank() == 0 {
+			out.sol, out.st, solveErr = full, st, err
+		}
+	}
+	for {
+		out.attempts++
+		if out.attempts > len(plan.Events)+2 {
+			return out, fmt.Errorf("np=%d interval=%d: no convergence after %d attempts", np, interval, out.attempts)
+		}
+		startIter := 0
+		if _, k := store.Latest(); k > 0 {
+			startIter = k
+		}
+		rs, runErr := m.RunChecked(fn)
+		out.mission += rs.ModelTime
+		if runErr == nil {
+			if solveErr != nil {
+				return out, solveErr
+			}
+			out.final = rs.ModelTime
+			out.useful = out.st.Iterations
+			return out, nil
+		}
+		var pf comm.PeerFailure
+		if !errors.As(runErr, &pf) {
+			return out, runErr
+		}
+		out.crashes++
+		if got := store.Reached(); got > startIter {
+			out.lost += got - startIter
+		}
+		inj.Advance(rs.ModelTime)
+	}
+}
+
+// E20 — resilience: checkpoint/restart under deterministic fault
+// injection. Table 1 measures what resilience costs when nothing
+// fails: CGResilient with no injector attached versus plain CG — the
+// only extra modeled time is the periodic checkpoint write
+// (t_s + 24·n/NP·t_w per rank every Interval iterations) and the
+// solution must stay bit-identical. Table 2 replays seeded Poisson
+// crash schedules (fault.RandomPlan) against the solve for an
+// MTBF × checkpoint-interval × NP sweep: mission time counts every
+// failed attempt, so the slowdown column is the paper-style price of
+// failures, and lost_iters the work rolled back to the last
+// checkpoint. Table 3 sweeps the interval at fixed MTBF and compares
+// the empirically best choice against Young's first-order optimum
+// sqrt(2·MTBF·C)/t_iter; interval=0 (no checkpoints, every failure
+// restarts from scratch) anchors the far end.
+func E20(cfg Config) ([]*report.Table, error) {
+	n := cfg.pick(2048, 288)
+	A := sparse.Banded(n, 4)
+	b := sparse.RandomVector(n, cfg.Seed)
+	opt := core.Options{Tol: 1e-8}
+	nps := []int{2, 4, 8}
+	if cfg.Quick {
+		nps = []int{2, 4}
+	}
+
+	// Fault-free baselines per np: plain CG solution, iterations, makespan.
+	type baseline struct {
+		sol   []float64
+		iters int
+		model float64
+	}
+	base := map[int]baseline{}
+	for _, np := range nps {
+		d := dist.NewBlock(n, np)
+		var bl baseline
+		var solveErr error
+		rs := cfg.machine(np).Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSRGhost(p, A, d)
+			bv := darray.New(p, d)
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			x := darray.New(p, d)
+			st, err := core.CG(p, op, bv, x, opt)
+			full := x.Gather()
+			if p.Rank() == 0 {
+				bl.sol, bl.iters, solveErr = full, st.Iterations, err
+			}
+		})
+		if solveErr != nil {
+			return nil, fmt.Errorf("baseline np=%d: %w", np, solveErr)
+		}
+		bl.model = rs.ModelTime
+		base[np] = bl
+	}
+
+	identical := func(a, b []float64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	t1 := &report.Table{
+		ID:     "E20",
+		Title:  "failure-free checkpoint overhead: CGResilient (no injector) vs CG",
+		Header: []string{"np", "n", "interval", "iters", "ckpts", "cg_model", "res_model", "overhead_pct", "bit_identical"},
+		Notes: []string{
+			"overhead_pct = (res_model - cg_model) / cg_model * 100: pure checkpoint-write",
+			"cost (t_s + 24 bytes/element * t_w per rank every interval iterations);",
+			"bit_identical compares solutions element-wise — resilience must not perturb CG.",
+		},
+	}
+	intervals1 := []int{5, 20}
+	for _, np := range nps {
+		for _, iv := range intervals1 {
+			out, err := runMission(cfg, A, b, np, iv, fault.Plan{}, opt)
+			if err != nil {
+				return nil, fmt.Errorf("healthy np=%d interval=%d: %w", np, iv, err)
+			}
+			bl := base[np]
+			t1.AddRowf(np, n, iv, out.useful, out.st.Checkpoints,
+				bl.model, out.final,
+				100*(out.final-bl.model)/bl.model,
+				identical(bl.sol, out.sol))
+		}
+	}
+
+	t2 := &report.Table{
+		ID:     "E20",
+		Title:  "recovery under Poisson crashes: MTBF x checkpoint interval x NP",
+		Header: []string{"np", "mtbf/T", "interval", "crashes", "attempts", "lost_iters", "mission_t", "slowdown"},
+		Notes: []string{
+			"Seeded fault.RandomPlan schedules crashes with the given MTBF (in units of the",
+			"healthy makespan T) over a 3T horizon; mission_t sums every attempt's modeled",
+			"time; slowdown = mission_t / T. lost_iters = iterations rolled back by failures.",
+		},
+	}
+	mtbfFracs := []float64{0.4, 1.0}
+	intervals2 := []int{3, 10}
+	for _, np := range nps {
+		T := base[np].model
+		for _, frac := range mtbfFracs {
+			plan := fault.RandomPlan(cfg.Seed+int64(np), np, frac*T, 3*T)
+			for _, iv := range intervals2 {
+				out, err := runMission(cfg, A, b, np, iv, plan, opt)
+				if err != nil {
+					return nil, fmt.Errorf("np=%d mtbf=%.2gT interval=%d: %w", np, frac, iv, err)
+				}
+				if !identical(base[np].sol, out.sol) {
+					return nil, fmt.Errorf("np=%d mtbf=%.2gT interval=%d: recovered solution not bit-identical", np, frac, iv)
+				}
+				t2.AddRowf(np, frac, iv, out.crashes, out.attempts, out.lost,
+					out.mission, out.mission/T)
+			}
+		}
+	}
+
+	t3 := &report.Table{
+		ID:     "E20",
+		Title:  "checkpoint interval choice vs Young's optimum",
+		Header: []string{"np", "interval", "crashes", "lost_iters", "mission_t", "slowdown", "young_interval"},
+		Notes: []string{
+			"Fixed MTBF = 0.5T; interval 0 = checkpointing disabled (failures restart from",
+			"scratch). young_interval = sqrt(2 * MTBF * C) / t_iter with C the per-checkpoint",
+			"modeled write cost and t_iter the healthy per-iteration time — the first-order",
+			"optimum the empirically best row should sit near.",
+		},
+	}
+	np3 := cfg.pick(4, 2)
+	T := base[np3].model
+	bl := base[np3]
+	mtbf := 0.5 * T
+	ckptCost := cfg.Cost.TStartup + 24*float64((n+np3-1)/np3)*cfg.Cost.TByte
+	tIter := T / float64(bl.iters)
+	young := math.Sqrt(2*mtbf*ckptCost) / tIter
+	plan := fault.RandomPlan(cfg.Seed+100, np3, mtbf, 3*T)
+	intervals3 := []int{0, 2, 5, 10, 20, 40}
+	if cfg.Quick {
+		intervals3 = []int{0, 2, 5, 15}
+	}
+	for _, iv := range intervals3 {
+		out, err := runMission(cfg, A, b, np3, iv, plan, opt)
+		if err != nil {
+			return nil, fmt.Errorf("young sweep interval=%d: %w", iv, err)
+		}
+		t3.AddRowf(np3, iv, out.crashes, out.lost, out.mission, out.mission/T, young)
+	}
+	return []*report.Table{t1, t2, t3}, nil
+}

@@ -16,6 +16,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -40,16 +41,19 @@ type message struct {
 	pl     Payload
 	depart float64 // sender's modeled clock when the message left
 	hops   int
+	delay  float64 // injected extra latency (fault layer); 0 when healthy
 }
 
 // Machine is an NP-processor virtual parallel computer with a fixed
 // interconnection topology and cost parameters. A Machine is reusable:
 // each Run gets fresh mailboxes.
 type Machine struct {
-	np     int
-	topo   topology.Topology
-	cost   topology.CostParams
-	tracer *trace.Tracer
+	np           int
+	topo         topology.Topology
+	cost         topology.CostParams
+	tracer       *trace.Tracer
+	inj          Injector      // nil = fault injection disabled
+	recvDeadline time.Duration // 0 = wait forever (armed by AttachInjector)
 }
 
 // NewMachine creates a machine of np processors connected by topo and
@@ -148,14 +152,24 @@ type abortError struct{}
 
 func (abortError) Error() string { return "comm: aborted because a peer processor failed" }
 
+// errAborted is run's internal result when every panic was a secondary
+// abortError — which only happens when an external watchdog (RunTimeout)
+// fired the abort. It never escapes the package.
+var errAborted = errors.New("comm: run aborted by watchdog")
+
 // RunTimeout is Run with a deadlock watchdog: if the SPMD program has
 // not finished within d, every processor blocked in communication is
 // aborted and an error describing the hang is returned (with zero
 // stats). Mismatched collectives — the classic SPMD bug where one
 // processor takes a different branch — hang forever under Run;
-// RunTimeout turns them into a diagnosable failure.
+// RunTimeout turns them into a diagnosable failure. Like RunChecked,
+// it returns injected-fault failures as typed PeerFailure errors.
 func (m *Machine) RunTimeout(fn func(p *Proc), d time.Duration) (RunStats, error) {
-	done := make(chan RunStats, 1)
+	type outcome struct {
+		rs  RunStats
+		err error
+	}
+	done := make(chan outcome, 1)
 	panicked := make(chan any, 1)
 	var rcHolder atomic.Pointer[runCtx]
 	go func() {
@@ -164,25 +178,27 @@ func (m *Machine) RunTimeout(fn func(p *Proc), d time.Duration) (RunStats, error
 				panicked <- e
 			}
 		}()
-		done <- m.run(fn, &rcHolder)
+		rs, err := m.run(fn, &rcHolder)
+		done <- outcome{rs, err}
 	}()
 	select {
-	case rs := <-done:
-		return rs, nil
+	case o := <-done:
+		return o.rs, o.err
 	case e := <-panicked:
 		panic(e)
 	case <-time.After(d):
 		if rc := rcHolder.Load(); rc != nil {
 			rc.doAbort()
 		}
-		// Wait for the aborted run to unwind (it will re-panic with
-		// abortError, which the recover above forwards).
+		// Wait for the aborted run to unwind; its procs report the
+		// secondary abortError panics, which run folds into errAborted.
 		select {
-		case <-done:
-		case e := <-panicked:
-			if _, isAbort := e.(abortError); !isAbort {
-				panic(e)
+		case o := <-done:
+			if o.err != nil && !errors.Is(o.err, errAborted) {
+				return o.rs, o.err
 			}
+		case e := <-panicked:
+			panic(e)
 		}
 		return RunStats{}, fmt.Errorf("comm: SPMD program deadlocked (no completion within %v); likely mismatched collectives or unmatched send/recv", d)
 	}
@@ -190,12 +206,28 @@ func (m *Machine) RunTimeout(fn func(p *Proc), d time.Duration) (RunStats, error
 
 // Run executes fn on every processor concurrently (SPMD) and returns
 // aggregate statistics. If any processor panics, Run re-panics with the
-// first failure after all goroutines have stopped.
+// first failure after all goroutines have stopped; an injected-fault
+// failure panics with the typed PeerFailure (use RunChecked to receive
+// it as an error instead).
 func (m *Machine) Run(fn func(p *Proc)) RunStats {
+	rs, err := m.run(fn, nil)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// RunChecked is Run for programs that may be killed by the fault
+// layer: an injected crash or a deadline-detected dead peer returns a
+// typed PeerFailure error together with the partial run's statistics
+// (its modeled clocks are the failed run's cost, which the resilient
+// solver accounts as lost work). Programming-error panics still
+// propagate as panics.
+func (m *Machine) RunChecked(fn func(p *Proc)) (RunStats, error) {
 	return m.run(fn, nil)
 }
 
-func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunStats {
+func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) (RunStats, error) {
 	rc := &runCtx{
 		mail:  make([][]chan message, m.np),
 		bytes: make([][]int64, m.np),
@@ -216,6 +248,10 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 	if m.tracer != nil {
 		rec = m.tracer.StartRun(m.np)
 	}
+	var injs []RankInjector
+	if m.inj != nil {
+		injs = m.inj.StartRun(m.np)
+	}
 
 	procs := make([]*Proc, m.np)
 	panics := make([]any, m.np)
@@ -223,11 +259,19 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 	for r := 0; r < m.np; r++ {
 		p := &Proc{
 			m: m, rc: rc, rank: r,
-			pool:    make([][]float64, 0, poolCap),
-			intPool: make([][]int, 0, intPoolCap),
+			pool:       make([][]float64, 0, poolCap),
+			intPool:    make([][]int, 0, intPoolCap),
+			lastFactor: 1,
+			deadline:   m.recvDeadline,
 		}
 		if rec != nil {
 			p.tr = rec.Rank(r)
+		}
+		if r < len(injs) && injs[r] != nil {
+			p.inj = injs[r]
+			if at, ok := p.inj.CrashTime(); ok {
+				p.crashAt, p.hasCrash = at, true
+			}
 		}
 		procs[r] = p
 		wg.Add(1)
@@ -244,22 +288,37 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 	}
 	wg.Wait()
 
-	var primary any
+	// Classify the panics: a programming error on any rank always wins
+	// and re-panics; injected-fault deaths (crashPanic from the dying
+	// rank, PeerFailure from a deadline-detecting survivor) become the
+	// run's error; secondary abortErrors are suppressed.
+	var bug any
+	var fail error
+	aborted := false
 	for _, e := range panics {
-		if e == nil {
-			continue
-		}
-		if _, secondary := e.(abortError); secondary {
-			if primary == nil {
-				primary = e
+		switch v := e.(type) {
+		case nil:
+		case abortError:
+			aborted = true
+		case crashPanic:
+			if fail == nil {
+				fail = PeerFailure{Rank: v.rank, Clock: v.clock}
 			}
-			continue
+		case PeerFailure:
+			if fail == nil {
+				fail = v
+			}
+		default:
+			if bug == nil {
+				bug = e
+			}
 		}
-		primary = e
-		break
 	}
-	if primary != nil {
-		panic(primary)
+	if bug != nil {
+		panic(bug)
+	}
+	if fail == nil && aborted {
+		return RunStats{}, errAborted
 	}
 
 	var rs RunStats
@@ -282,7 +341,7 @@ func (m *Machine) run(fn func(p *Proc), rcHolder *atomic.Pointer[runCtx]) RunSta
 	if rec != nil {
 		rec.Seal(rs.ModelTime)
 	}
-	return rs
+	return rs, fail
 }
 
 // Proc is one virtual processor inside a Run. All methods must be
@@ -295,6 +354,16 @@ type Proc struct {
 	seq   int // collective sequence number, for tag matching
 	stats ProcStats
 	tr    *trace.RankLog // nil unless a tracer is attached
+	// inj is this rank's fault schedule (nil = healthy, hook-free).
+	// crashAt/hasCrash cache the injected crash time so the hot-path
+	// check is two loads and a compare; lastFactor tracks straggle
+	// transitions for the trace markers; deadline bounds blocked Recvs
+	// when fault injection is armed.
+	inj        RankInjector
+	crashAt    float64
+	hasCrash   bool
+	lastFactor float64
+	deadline   time.Duration
 	// pool/intPool hold recycled scratch buffers (see GetBuf). They are
 	// owned by this rank's goroutine, so no locking is needed.
 	pool    [][]float64
@@ -313,19 +382,25 @@ func (p *Proc) Clock() float64 { return p.clock }
 // Stats returns a copy of the processor's accounting so far.
 func (p *Proc) Stats() ProcStats { return p.stats }
 
-// Compute charges flops floating-point operations to the modeled clock.
+// Compute charges flops floating-point operations to the modeled
+// clock. An attached injector can stretch the charge (straggler) or
+// kill the rank once its clock passes the scheduled crash time.
 func (p *Proc) Compute(flops int) {
 	if flops <= 0 {
 		return
 	}
 	start := p.clock
 	dt := float64(flops) * p.m.cost.TFlop
+	if p.inj != nil {
+		dt *= p.straggleFactor(start)
+	}
 	p.clock += dt
 	p.stats.ComputeTime += dt
 	p.stats.Flops += int64(flops)
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindCompute, Peer: -1, Flops: flops, Start: start, End: p.clock})
 	}
+	p.checkCrash()
 }
 
 // collEnd records a collective span [start, now) when tracing is on.
@@ -352,6 +427,7 @@ func (p *Proc) Send(dst, tag int, pl Payload) {
 	if dst == p.rank {
 		panic("comm: Send to self")
 	}
+	p.checkCrash()
 	start := p.clock
 	p.clock += p.m.cost.TStartup
 	p.stats.SendTime += p.m.cost.TStartup
@@ -366,6 +442,24 @@ func (p *Proc) Send(dst, tag int, pl Payload) {
 	}
 	if p.tr != nil {
 		p.tr.Add(trace.Event{Kind: trace.KindSend, Peer: dst, Tag: tag, Bytes: pl.Bytes(), Start: start, End: p.clock})
+	}
+	if p.inj != nil {
+		drop, delay := p.inj.SendFault(dst, p.clock, float64(msg.hops)*p.m.cost.THop)
+		if drop {
+			// The sender paid the start-up overhead and believes the
+			// message left; the network lost it. The receiver's recv
+			// deadline is what eventually notices.
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindFault, Peer: dst, Tag: tag, Bytes: pl.Bytes(), Op: "drop", Start: p.clock, End: p.clock})
+			}
+			return
+		}
+		if delay > 0 {
+			msg.delay = delay
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindFault, Peer: dst, Tag: tag, Op: "spike", Start: p.clock, End: p.clock})
+			}
+		}
 	}
 	select {
 	case p.rc.mail[p.rank][dst] <- msg:
@@ -385,12 +479,35 @@ func (p *Proc) Recv(src, tag int) Payload {
 	if src == p.rank {
 		panic("comm: Recv from self")
 	}
+	p.checkCrash()
 	start := p.clock
 	var msg message
-	select {
-	case msg = <-p.rc.mail[src][p.rank]:
-	case <-p.rc.abort:
-		panic(abortError{})
+	if p.deadline > 0 {
+		// Fault-armed path: a peer that died silently (its message was
+		// dropped, so no abort fired) must not hang this rank forever.
+		// The deadline is wall-clock by necessity — a dead peer makes no
+		// modeled progress to measure — but the resulting PeerFailure
+		// carries modeled time like every other event.
+		timer := time.NewTimer(p.deadline)
+		select {
+		case msg = <-p.rc.mail[src][p.rank]:
+			timer.Stop()
+		case <-p.rc.abort:
+			timer.Stop()
+			panic(abortError{})
+		case <-timer.C:
+			pf := PeerFailure{Rank: src, Clock: p.clock}
+			if p.tr != nil {
+				p.tr.Add(trace.Event{Kind: trace.KindFault, Peer: src, Op: "peer-timeout", Start: p.clock, End: p.clock})
+			}
+			panic(pf)
+		}
+	} else {
+		select {
+		case msg = <-p.rc.mail[src][p.rank]:
+		case <-p.rc.abort:
+			panic(abortError{})
+		}
 	}
 	if msg.tag != tag {
 		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", p.rank, tag, src, msg.tag))
@@ -400,7 +517,8 @@ func (p *Proc) Recv(src, tag int) Payload {
 	// transfer on the receiver serialises concurrent incoming messages
 	// (finite receive bandwidth, as in the LogGP model) — without this,
 	// an all-to-all would absorb NP-1 transfers for the price of one.
-	head := msg.depart + float64(msg.hops)*p.m.cost.THop
+	// msg.delay is the fault layer's injected latency (0 when healthy).
+	head := msg.depart + float64(msg.hops)*p.m.cost.THop + msg.delay
 	if head > p.clock {
 		p.stats.WaitTime += head - p.clock
 		p.clock = head

@@ -88,6 +88,17 @@ type Stats struct {
 	// communication-avoidance metric of experiment E19.
 	Reductions int
 	History    []float64
+	// Checkpoints, Restores and Replacements count CGResilient's
+	// resilience actions in this attempt: checkpoints written, restores
+	// performed at entry, and residual replacements the guard forced.
+	// Zero for the non-resilient solvers.
+	Checkpoints  int
+	Restores     int
+	Replacements int
+	// StartIteration is the iteration CGResilient resumed from (0 on a
+	// clean start); Iterations stays the global count, so the attempt
+	// itself ran Iterations - StartIteration iterations.
+	StartIteration int
 }
 
 // String summarises the stats.

@@ -1,0 +1,263 @@
+// Resilient CG: the checkpoint/rollback-restart machinery that lets a
+// solve survive injected (or real) processor failures. The design
+// follows classic coordinated in-memory checkpointing for iterative
+// methods: CG's entire loop state is (x, r, p, rho) plus the iteration
+// number, so a periodic coordinated snapshot of those four per-rank
+// blocks is enough to resume the exact floating-point trajectory — a
+// restored solve is bit-identical to the fault-free one from the
+// checkpointed iteration onward, which the tests assert.
+//
+// The snapshot protocol needs no extra communication: CG's collectives
+// already synchronise the ranks every iteration, so when any rank has
+// completed the merge of iteration k, every other rank has at least
+// entered it — ranks can never be more than one checkpoint generation
+// apart. Writing alternately into two slots (double buffering) with
+// the per-rank iteration stamp committed last therefore guarantees
+// that at most one slot is torn by a crash, and a unanimity scan picks
+// the newest complete one at restart.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/spmv"
+)
+
+// CheckpointStore holds the in-memory checkpoints of one resilient
+// solve across restart attempts. It is shared by all ranks of the
+// machine (create it once, outside Run) and owned by one logical solve
+// at a time. Per-rank entries are only written by that rank's
+// goroutine; cross-rank reads are ordered by the solver's collectives
+// and by run boundaries, so no locking is needed.
+type CheckpointStore struct {
+	np      int
+	slots   [2]ckptSlot
+	reached []int // per-rank highest iteration started (lost-work probe)
+}
+
+type ckptSlot struct {
+	iter    []int // per-rank committed iteration stamp; -1 = empty
+	rho     []float64
+	x, r, p [][]float64
+}
+
+// NewCheckpointStore creates an empty store for an np-rank machine.
+func NewCheckpointStore(np int) *CheckpointStore {
+	cs := &CheckpointStore{np: np, reached: make([]int, np)}
+	for s := range cs.slots {
+		cs.slots[s] = ckptSlot{
+			iter: make([]int, np),
+			rho:  make([]float64, np),
+			x:    make([][]float64, np),
+			r:    make([][]float64, np),
+			p:    make([][]float64, np),
+		}
+		for r := 0; r < np; r++ {
+			cs.slots[s].iter[r] = -1
+		}
+	}
+	return cs
+}
+
+// Latest returns the newest complete checkpoint: the highest iteration
+// stamp agreed on by every rank of a slot, or -1 when no complete
+// checkpoint exists. A slot a crash tore mid-write fails the unanimity
+// test and is skipped — the double buffering guarantees the other slot
+// is then complete.
+func (cs *CheckpointStore) Latest() (slot, iter int) {
+	slot, iter = -1, -1
+	for s := range cs.slots {
+		k := cs.slots[s].iter[0]
+		if k < 0 || k <= iter {
+			continue
+		}
+		unanimous := true
+		for r := 1; r < cs.np; r++ {
+			if cs.slots[s].iter[r] != k {
+				unanimous = false
+				break
+			}
+		}
+		if unanimous {
+			slot, iter = s, k
+		}
+	}
+	return slot, iter
+}
+
+// Reached returns the highest iteration any rank had started — the
+// lost-work probe the restart driver uses to account iterations that a
+// failed attempt computed past its last checkpoint.
+func (cs *CheckpointStore) Reached() int {
+	max := 0
+	for _, k := range cs.reached {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}
+
+// save snapshots one rank's loop state into a slot: payload first, the
+// iteration stamp last. The copies contain no communication or modeled
+// compute, so an injected crash cannot fire mid-snapshot — per rank the
+// commit is atomic, and torn checkpoints only arise from some ranks
+// not reaching save at all (which the stamp unanimity detects).
+func (cs *CheckpointStore) save(slot, rank, iter int, rho float64, x, r, p *darray.Vector) {
+	sl := &cs.slots[slot]
+	sl.x[rank] = append(sl.x[rank][:0], x.Local()...)
+	sl.r[rank] = append(sl.r[rank][:0], r.Local()...)
+	sl.p[rank] = append(sl.p[rank][:0], p.Local()...)
+	sl.rho[rank] = rho
+	sl.iter[rank] = iter
+}
+
+// restore copies one rank's checkpointed state back and returns rho.
+func (cs *CheckpointStore) restore(slot, rank int, x, r, p *darray.Vector) float64 {
+	sl := &cs.slots[slot]
+	copy(x.Local(), sl.x[rank])
+	copy(r.Local(), sl.r[rank])
+	copy(p.Local(), sl.p[rank])
+	return sl.rho[rank]
+}
+
+// Resilience configures CGResilient.
+type Resilience struct {
+	// Store holds checkpoints across restart attempts; required.
+	Store *CheckpointStore
+	// Interval checkpoints every Interval iterations (0 disables
+	// checkpointing; the solve then always restarts from scratch).
+	Interval int
+	// GuardTol triggers residual replacement at restore when the
+	// restored recurrence residual deviates from the true residual
+	// b - A·x by more than GuardTol·||b||. Zero means 1e-8.
+	GuardTol float64
+}
+
+// CGResilient is CG with coordinated in-memory checkpointing and
+// rollback restart. Run it like CG; when the machine kills the run
+// with a comm.PeerFailure, re-run the same function (after
+// fault-injector Advance) — the solver finds the newest complete
+// checkpoint in the store and resumes from it, replaying the exact CG
+// trajectory. At restore it recomputes the true residual b - A·x and
+// replaces the checkpointed r when the two deviate beyond the guard
+// tolerance, so even a corrupted (or very old) checkpoint still
+// converges. Checkpoint writes charge modeled stable-storage time
+// (t_s + bytes·t_w per rank) via ChargeIO, making the
+// interval-vs-MTBF trade-off of experiment E20 measurable.
+func CGResilient(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options, res Resilience) (Stats, error) {
+	if res.Store == nil {
+		panic("core: CGResilient requires Resilience.Store")
+	}
+	opt = opt.withDefaults(A.N())
+	st := newStats(opt)
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
+	cs := res.Store
+	rank := p.Rank()
+	guard := res.GuardTol
+	if guard == 0 {
+		guard = 1e-8
+	}
+
+	r := w.take(b)
+	pv := w.take(b)
+	q := w.take(b)
+	var rnsq, rn, bn, rho float64
+	start := 0
+
+	if slot, citer := cs.Latest(); citer >= 0 {
+		// Rollback restart: resume from the newest complete checkpoint.
+		// The restored (x, r, p, rho) are bit-exact copies of the loop
+		// state after iteration citer, so the continuation replays the
+		// fault-free trajectory exactly — unless the guard below finds
+		// the recurrence residual has drifted from the truth.
+		rho = cs.restore(slot, rank, x, r, pv)
+		st.Restores++
+		start = citer
+		cs.reached[rank] = citer
+		bn = math.Sqrt(o.mergeScalar(b.NormSqLocal()))
+		st.DotProducts++
+		if bn == 0 {
+			bn = 1
+		}
+		// Residual-replacement guard: one extra mat-vec per restore.
+		o.apply(A, x, q)
+		q.Scale(-1)
+		o.axpy(q, 1, b) // q = b - A·x, the true residual
+		var d [2]float64
+		d[0] = q.DiffNormSqLocal(r)
+		d[1] = q.NormSqLocal()
+		st.DotProducts += 2
+		o.merge(d[:])
+		if math.Sqrt(d[0]) > guard*bn {
+			r.CopyFrom(q)
+			rho = d[1]
+			st.Replacements++
+		}
+		rnsq = rho
+		rn = math.Sqrt(rnsq)
+		if rn/bn <= opt.Tol {
+			st.Iterations = citer
+			st.StartIteration = citer
+			st.Converged = true
+			st.Residual = rn / bn
+			return st, nil
+		}
+	} else {
+		// Clean start: identical to CG's prologue.
+		rnsq, bn = residual0(o, A, b, x, r)
+		rn = math.Sqrt(rnsq)
+		if rn/bn <= opt.Tol {
+			st.Converged = true
+			st.Residual = rn / bn
+			return st, nil
+		}
+		pv.CopyFrom(r)
+		rho = rnsq
+	}
+	st.StartIteration = start
+
+	// The loop body is CG's, verbatim — same merges, same arithmetic,
+	// bit-identical iterates — plus the periodic checkpoint.
+	for k := start + 1; k <= opt.MaxIter; k++ {
+		st.Iterations = k
+		cs.reached[rank] = k
+		pq := o.mergeScalar(o.applyDotLocal(A, pv, q))
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, k)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		rnsq = o.mergeScalar(o.axpyNormSqLocal(r, -alpha, q))
+		rn = math.Sqrt(rnsq)
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = rnsq
+		if rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, k)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, r)
+		if res.Interval > 0 && k%res.Interval == 0 {
+			// Alternate slots by checkpoint generation so a crash during
+			// generation g+1 leaves generation g intact.
+			cs.save((k/res.Interval)%2, rank, k, rho, x, r, pv)
+			st.Checkpoints++
+			// Charge the stable-storage write: three vectors of 8-byte
+			// words per rank, modeled like one message injection.
+			p.ChargeIO(3 * 8 * len(x.Local()))
+		}
+	}
+	st.Residual = rn / bn
+	return st, nil
+}

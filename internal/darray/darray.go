@@ -169,6 +169,21 @@ func (v *Vector) AXPYNormSqLocal(alpha float64, x *Vector) float64 {
 	return s
 }
 
+// DiffNormSqLocal returns the local partial of ||v - w||², with no
+// communication. The resilient CG's residual-replacement guard merges
+// it to compare a restored recurrence residual against the true
+// residual b - A·x.
+func (v *Vector) DiffNormSqLocal(w *Vector) float64 {
+	v.sameDist(w)
+	s := 0.0
+	for i := range v.loc {
+		d := v.loc[i] - w.loc[i]
+		s += d * d
+	}
+	v.p.Compute(3 * len(v.loc))
+	return s
+}
+
 // Sum is the HPF SUM intrinsic over the whole vector.
 func (v *Vector) Sum() float64 {
 	s := 0.0

@@ -1,0 +1,88 @@
+package fault_test
+
+import (
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/fault"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+// TestEmptyPlanInjectorBitIdentical is the zero-overhead guard's other
+// half: attaching an injector whose plan is empty (or whose windows
+// never open) must leave a CG solve bit-identical to the detached
+// machine — same solution, same residual history, same modeled
+// makespan. Straggle multiplies flop time by exactly 1.0 and spikes add
+// exactly 0.0, so any deviation here is an injector hook leaking cost
+// into the healthy path.
+func TestEmptyPlanInjectorBitIdentical(t *testing.T) {
+	n := 96
+	A := sparse.RandomSPD(n, 5, 17)
+	b := sparse.RandomVector(n, 6)
+
+	type outcome struct {
+		sol []float64
+		st  core.Stats
+		rs  comm.RunStats
+	}
+	solve := func(np int, inj comm.Injector) outcome {
+		d := dist.NewBlock(n, np)
+		m := comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams())
+		if inj != nil {
+			m.AttachInjector(inj)
+		}
+		var out outcome
+		out.rs = m.Run(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSR(p, A, d)
+			bv := darray.New(p, d)
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			x := darray.New(p, d)
+			st, err := core.CG(p, op, bv, x, core.Options{Tol: 1e-10, History: true})
+			if err != nil {
+				t.Errorf("np=%d: %v", np, err)
+			}
+			full := x.Gather()
+			if p.Rank() == 0 {
+				out.sol, out.st = full, st
+			}
+		})
+		return out
+	}
+
+	for _, np := range []int{2, 4, 8} {
+		inj, err := fault.NewInjector(fault.Plan{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain := solve(np, nil)
+		faulty := solve(np, inj)
+
+		if plain.rs.ModelTime != faulty.rs.ModelTime {
+			t.Errorf("np=%d: makespan %.17g with injector vs %.17g without",
+				np, faulty.rs.ModelTime, plain.rs.ModelTime)
+		}
+		if plain.st.Iterations != faulty.st.Iterations || plain.st.Residual != faulty.st.Residual {
+			t.Errorf("np=%d: stats diverge: %+v vs %+v", np, faulty.st, plain.st)
+		}
+		for i := range plain.st.History {
+			if plain.st.History[i] != faulty.st.History[i] {
+				t.Fatalf("np=%d: residual history differs at iteration %d", np, i)
+			}
+		}
+		for g := range plain.sol {
+			if plain.sol[g] != faulty.sol[g] {
+				t.Fatalf("np=%d: solution differs at %d: %v vs %v",
+					np, g, faulty.sol[g], plain.sol[g])
+			}
+		}
+		if plain.rs.TotalFlops != faulty.rs.TotalFlops || plain.rs.TotalMsgs != faulty.rs.TotalMsgs {
+			t.Errorf("np=%d: op counts diverge: flops %d/%d msgs %d/%d", np,
+				faulty.rs.TotalFlops, plain.rs.TotalFlops, faulty.rs.TotalMsgs, plain.rs.TotalMsgs)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Parse builds a Plan from the compact command-line spec syntax used
+// by hpfrun/cgbench -fault:
+//
+//	crash:rank=2@t=0.5ms,straggle:rank=1,x=4
+//
+// Events are comma-separated; a token with a kind prefix ("crash:",
+// "straggle:", "drop:", "spike:") starts a new event, and following
+// bare key=value tokens refine it until the next kind prefix. The
+// first token may attach more assignments with '@'. Keys:
+//
+//	rank=R   affected rank (required)
+//	t=D      start time (crash instant / window open)
+//	until=D  window close (straggle/spike)
+//	x=F      factor (straggle: flop cost; spike: hop latency)
+//	delay=D  fixed extra latency (spike)
+//	n=N      messages to drop (drop; default 1)
+//	dst=R    destination filter (drop/spike; default any)
+//
+// Durations D accept Go syntax ("0.5ms", "2s") or bare seconds
+// ("0.0005"). Parse and Plan.String round-trip.
+func Parse(spec string) (Plan, error) {
+	var plan Plan
+	var cur *Event
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		parts := strings.Split(tok, "@")
+		if k, rest, ok := cutKind(parts[0]); ok {
+			plan.Events = append(plan.Events, Event{Kind: k, Rank: -1, Dst: -1})
+			cur = &plan.Events[len(plan.Events)-1]
+			parts[0] = rest
+		} else if cur == nil {
+			return Plan{}, fmt.Errorf("fault: spec %q: expected a kind prefix (crash:, straggle:, drop:, spike:), got %q", spec, tok)
+		}
+		for _, kv := range parts {
+			if kv == "" {
+				continue
+			}
+			if err := assign(cur, kv); err != nil {
+				return Plan{}, fmt.Errorf("fault: spec %q: %w", spec, err)
+			}
+		}
+	}
+	if err := plan.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return plan, nil
+}
+
+// cutKind splits a "kind:rest" token; rest may be empty.
+func cutKind(tok string) (Kind, string, bool) {
+	head, rest, found := strings.Cut(tok, ":")
+	if !found {
+		head, rest = tok, ""
+	}
+	for _, k := range []Kind{Crash, Straggle, Drop, Spike} {
+		if head == k.String() {
+			return k, rest, true
+		}
+	}
+	return 0, "", false
+}
+
+func assign(e *Event, kv string) error {
+	key, val, found := strings.Cut(kv, "=")
+	if !found || val == "" {
+		return fmt.Errorf("token %q is not key=value", kv)
+	}
+	bad := func(err error) error { return fmt.Errorf("%s=%s: %v", key, val, err) }
+	switch key {
+	case "rank":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.Rank = n
+	case "t":
+		d, err := parseDur(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.At = d
+	case "until":
+		d, err := parseDur(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.Until = d
+	case "x":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return bad(err)
+		}
+		e.Factor = f
+	case "delay":
+		d, err := parseDur(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.Delay = d
+	case "n":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.Count = n
+	case "dst":
+		n, err := strconv.Atoi(val)
+		if err != nil {
+			return bad(err)
+		}
+		e.Dst = n
+	default:
+		return fmt.Errorf("unknown key %q (want rank/t/until/x/delay/n/dst)", key)
+	}
+	return nil
+}
+
+// parseDur reads a duration as Go syntax or bare modeled seconds.
+func parseDur(s string) (float64, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		return d.Seconds(), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("not a duration or seconds value")
+	}
+	return f, nil
+}
+
+// String renders the plan in the spec syntax Parse accepts; the two
+// round-trip (Parse(p.String()) reproduces p for valid plans written
+// by Parse or with the same field conventions).
+func (p Plan) String() string {
+	var sb strings.Builder
+	for i, e := range p.Events {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s:rank=%d", e.Kind, e.Rank)
+		if e.At != 0 {
+			sb.WriteString("@t=" + ftoa(e.At))
+		}
+		if e.Until != 0 {
+			sb.WriteString(",until=" + ftoa(e.Until))
+		}
+		if e.Factor != 0 {
+			sb.WriteString(",x=" + ftoa(e.Factor))
+		}
+		if e.Delay != 0 {
+			sb.WriteString(",delay=" + ftoa(e.Delay))
+		}
+		if e.Count != 0 {
+			sb.WriteString(",n=" + strconv.Itoa(e.Count))
+		}
+		if e.Dst >= 0 {
+			sb.WriteString(",dst=" + strconv.Itoa(e.Dst))
+		}
+	}
+	return sb.String()
+}
+
+// ftoa prints a float so that parseDur/ParseFloat recover it exactly.
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -17,6 +17,7 @@
 package hpfexec
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -56,13 +57,19 @@ type Result struct {
 
 // SolveCG executes the CG of the paper's Figure 2 under the bound
 // plan. A is the runtime matrix (CSR form; converted as the declared
-// storage format requires), b the right-hand side.
+// storage format requires), b the right-hand side. A processor killed
+// by the fault layer surfaces as a typed comm.PeerFailure error (no
+// deadlock); use SolveCGResilient to recover instead.
 func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (*Result, error) {
-	fn, finish, err := prepareCG(m, plan, A, b, opt)
+	fn, finish, err := prepareCG(m, plan, A, b, opt, nil)
 	if err != nil {
 		return nil, err
 	}
-	return finish(m.Run(fn))
+	run, err := m.RunChecked(fn)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
 }
 
 // SolveCGTimeout is SolveCG under a deadlock watchdog: if the SPMD
@@ -70,7 +77,7 @@ func SolveCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt co
 // the machine's deadlock diagnostic is returned instead of hanging —
 // the safety net cmd/hpfrun's -timeout flag routes through.
 func SolveCGTimeout(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, d time.Duration) (*Result, error) {
-	fn, finish, err := prepareCG(m, plan, A, b, opt)
+	fn, finish, err := prepareCG(m, plan, A, b, opt, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -81,10 +88,111 @@ func SolveCGTimeout(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64,
 	return finish(run)
 }
 
+// ResilientOptions configures SolveCGResilient.
+type ResilientOptions struct {
+	// Interval checkpoints every Interval iterations (0 means 10).
+	Interval int
+	// MaxRestarts bounds how many failed attempts are retried before
+	// giving up (0 means 3).
+	MaxRestarts int
+	// GuardTol is the residual-replacement threshold at restore
+	// (core.Resilience.GuardTol; 0 means 1e-8).
+	GuardTol float64
+}
+
+// ResilientResult is a completed solve that may have survived failures.
+type ResilientResult struct {
+	Result
+	// Attempts counts runs including the successful one (1 = no failure).
+	Attempts int
+	// Failures lists the typed failures the restarts absorbed.
+	Failures []comm.PeerFailure
+	// TotalModelTime sums the modeled makespan over all attempts — the
+	// mission time, failed work and recovery included. Result.Run holds
+	// only the final attempt.
+	TotalModelTime float64
+	// TotalIterations counts CG iterations computed across attempts;
+	// LostIterations is the share rolled back by failures (computed
+	// past the last checkpoint and redone). Their difference is
+	// Result.Stats.Iterations, the useful work.
+	TotalIterations int
+	LostIterations  int
+}
+
+// SolveCGResilient is SolveCG with checkpoint/rollback-restart: the
+// solve runs core.CGResilient over a shared in-memory checkpoint
+// store, and every comm.PeerFailure triggers a restart that resumes
+// from the newest complete checkpoint. When the machine's fault
+// injector carries a mission clock (an Advance(float64) method, as
+// fault.Injector does), it is advanced by each failed attempt's
+// modeled time so the remaining fault schedule stays aligned.
+func SolveCGResilient(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, ropt ResilientOptions) (*ResilientResult, error) {
+	if ropt.Interval == 0 {
+		ropt.Interval = 10
+	}
+	if ropt.MaxRestarts == 0 {
+		ropt.MaxRestarts = 3
+	}
+	store := core.NewCheckpointStore(m.NP())
+	res := core.Resilience{Store: store, Interval: ropt.Interval, GuardTol: ropt.GuardTol}
+	fn, finish, err := prepareCG(m, plan, A, b, opt,
+		func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
+			return core.CGResilient(p, op, bv, xv, opt, res)
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := &ResilientResult{}
+	for {
+		out.Attempts++
+		// The iteration this attempt starts from: the newest complete
+		// checkpoint, or 0 on a scratch start.
+		startIter := 0
+		if _, k := store.Latest(); k > 0 {
+			startIter = k
+		}
+		run, runErr := m.RunChecked(fn)
+		out.TotalModelTime += run.ModelTime
+		if runErr == nil {
+			r, err := finish(run)
+			if err != nil {
+				return nil, err
+			}
+			out.Result = *r
+			out.TotalIterations += r.Stats.Iterations - r.Stats.StartIteration
+			out.LostIterations = out.TotalIterations - r.Stats.Iterations
+			return out, nil
+		}
+		var pf comm.PeerFailure
+		if !errors.As(runErr, &pf) {
+			return nil, runErr
+		}
+		out.Failures = append(out.Failures, pf)
+		if got := store.Reached(); got > startIter {
+			out.TotalIterations += got - startIter
+		}
+		if out.Attempts > ropt.MaxRestarts {
+			return nil, fmt.Errorf("hpfexec: solve failed after %d attempts: %w", out.Attempts, pf)
+		}
+		if adv, ok := m.Injector().(interface{ Advance(float64) }); ok {
+			adv.Advance(run.ModelTime)
+		}
+	}
+}
+
+// solveFn is the solver a prepared run executes per processor; nil
+// selects the plain core.CG.
+type solveFn func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error)
+
 // prepareCG validates the plan against the matrix and builds the SPMD
-// body plus the post-run assembly, so SolveCG and SolveCGTimeout share
-// everything but the Run call.
-func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+// body plus the post-run assembly, so the Solve variants share
+// everything but the Run call and the solver.
+func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, solve solveFn) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+	if solve == nil {
+		solve = func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
+			return core.CG(p, op, bv, xv, opt)
+		}
+	}
 	if A.NRows != A.NCols {
 		return nil, nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
 	}
@@ -195,7 +303,7 @@ func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt 
 		bv := darray.New(p, d)
 		xv := darray.New(p, d)
 		bv.SetGlobal(func(g int) float64 { return b[g] })
-		st, err := core.CG(p, op, bv, xv, opt)
+		st, err := solve(p, op, bv, xv)
 		if err != nil {
 			if p.Rank() == 0 {
 				solveErr = err

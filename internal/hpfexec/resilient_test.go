@@ -1,0 +1,159 @@
+package hpfexec
+
+import (
+	"errors"
+	"testing"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/fault"
+	"hpfcg/internal/sparse"
+)
+
+// TestSolveCGResilientSurvivesCrash drives the full product path: an
+// hpf plan, a deterministic fault plan that kills one rank mid-solve,
+// SolveCG surfacing the typed failure, and SolveCGResilient absorbing
+// it via checkpoint/restart with a solution bit-identical to the
+// fault-free solve.
+func TestSolveCGResilientSurvivesCrash(t *testing.T) {
+	A := sparse.Laplace2D(16, 16)
+	b := sparse.RandomVector(A.NRows, 7)
+	np := 4
+	plan := bindPlan(t, csrPlan, A.NRows, A.NNZ(), np)
+	opt := core.Options{Tol: 1e-10}
+
+	// Fault-free reference.
+	ref, err := SolveCG(machine(np), plan, A, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := fault.Plan{Events: []fault.Event{
+		{Kind: fault.Crash, Rank: 2, At: 0.6 * ref.Run.ModelTime, Dst: -1},
+	}}
+
+	// Without resilience the crash must come back as a typed error.
+	{
+		inj, err := fault.NewInjector(fp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := machine(np)
+		m.AttachInjector(inj)
+		_, err = SolveCG(m, plan, A, b, opt)
+		var pf comm.PeerFailure
+		if !errors.As(err, &pf) {
+			t.Fatalf("SolveCG under crash: err = %v, want comm.PeerFailure", err)
+		}
+		if pf.Rank != 2 {
+			t.Errorf("blamed rank %d, want 2", pf.Rank)
+		}
+	}
+
+	inj, err := fault.NewInjector(fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine(np)
+	m.AttachInjector(inj)
+	res, err := SolveCGResilient(m, plan, A, b, opt, ResilientOptions{Interval: 4})
+	if err != nil {
+		t.Fatalf("SolveCGResilient: %v", err)
+	}
+	if res.Attempts != 2 || len(res.Failures) != 1 {
+		t.Errorf("attempts = %d, failures = %d, want 2 and 1", res.Attempts, len(res.Failures))
+	}
+	if len(res.Failures) == 1 && res.Failures[0].Rank != 2 {
+		t.Errorf("recorded failure blames rank %d, want 2", res.Failures[0].Rank)
+	}
+	if !res.Stats.Converged || res.Stats.Iterations != ref.Stats.Iterations {
+		t.Fatalf("resilient solve: converged=%v iters=%d, reference iters=%d",
+			res.Stats.Converged, res.Stats.Iterations, ref.Stats.Iterations)
+	}
+	if res.Stats.Restores != 1 || res.Stats.StartIteration == 0 {
+		t.Errorf("final attempt restores=%d start=%d, want a restart from a checkpoint",
+			res.Stats.Restores, res.Stats.StartIteration)
+	}
+	if res.LostIterations <= 0 {
+		t.Errorf("lost iterations = %d, want > 0 (crash rolled work back)", res.LostIterations)
+	}
+	if res.TotalIterations != res.Stats.Iterations+res.LostIterations {
+		t.Errorf("total %d != useful %d + lost %d",
+			res.TotalIterations, res.Stats.Iterations, res.LostIterations)
+	}
+	if res.TotalModelTime <= res.Run.ModelTime {
+		t.Errorf("mission time %.6g not larger than final attempt %.6g",
+			res.TotalModelTime, res.Run.ModelTime)
+	}
+	for g := range ref.X {
+		if res.X[g] != ref.X[g] {
+			t.Fatalf("solution differs from fault-free run at %d: %v vs %v", g, res.X[g], ref.X[g])
+		}
+	}
+}
+
+// TestSolveCGResilientHealthy: with no injector the resilient driver is
+// one attempt with zero losses, matching SolveCG bit-for-bit.
+func TestSolveCGResilientHealthy(t *testing.T) {
+	A := sparse.Laplace2D(12, 12)
+	b := sparse.RandomVector(A.NRows, 3)
+	np := 4
+	plan := bindPlan(t, csrPlan, A.NRows, A.NNZ(), np)
+	opt := core.Options{Tol: 1e-10}
+
+	ref, err := SolveCG(machine(np), plan, A, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SolveCGResilient(machine(np), plan, A, b, opt, ResilientOptions{Interval: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts != 1 || len(res.Failures) != 0 || res.LostIterations != 0 {
+		t.Errorf("healthy solve: attempts=%d failures=%d lost=%d",
+			res.Attempts, len(res.Failures), res.LostIterations)
+	}
+	if res.Stats.Iterations != ref.Stats.Iterations {
+		t.Errorf("iterations %d != reference %d", res.Stats.Iterations, ref.Stats.Iterations)
+	}
+	for g := range ref.X {
+		if res.X[g] != ref.X[g] {
+			t.Fatalf("solution differs at %d", g)
+		}
+	}
+}
+
+// TestSolveCGResilientGivesUp: a plan that kills a rank immediately on
+// every attempt exhausts MaxRestarts and returns the typed failure.
+func TestSolveCGResilientGivesUp(t *testing.T) {
+	A := sparse.Laplace2D(8, 8)
+	b := sparse.RandomVector(A.NRows, 5)
+	np := 2
+	plan := bindPlan(t, csrPlan, A.NRows, A.NNZ(), np)
+	opt := core.Options{Tol: 1e-10}
+
+	ref, err := SolveCG(machine(np), plan, A, b, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashes every fifth of the healthy makespan: each restart makes at
+	// most a fifth of the remaining progress before the next one lands,
+	// so MaxRestarts=2 cannot reach convergence. Advance consumes at
+	// most the attempt's modeled time, leaving later crashes pending.
+	evs := make([]fault.Event, 12)
+	for i := range evs {
+		evs[i] = fault.Event{Kind: fault.Crash, Rank: 1, At: float64(i+1) * 0.2 * ref.Run.ModelTime, Dst: -1}
+	}
+	inj, err := fault.NewInjector(fault.Plan{Events: evs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := machine(np)
+	m.AttachInjector(inj)
+	_, err = SolveCGResilient(m, plan, A, b, opt, ResilientOptions{Interval: 3, MaxRestarts: 2})
+	var pf comm.PeerFailure
+	if !errors.As(err, &pf) {
+		t.Fatalf("err = %v, want comm.PeerFailure after exhausting restarts", err)
+	}
+}

@@ -218,6 +218,10 @@ func CriticalPath(r *Recorder) PathStats {
 				n.network = latency + body
 			}
 			n.completion = start + body
+		default:
+			// Instant markers (injected faults) take no modeled time:
+			// they pass the predecessor's completion straight through.
+			n.completion = start
 		}
 		for _, s := range succs[idx] {
 			if indeg[s]--; indeg[s] == 0 {

@@ -10,15 +10,17 @@ import (
 // (the "trace.json" schema chrome://tracing and ui.perfetto.dev load).
 // Timestamps and durations are microseconds of the *modeled* clock.
 type ChromeEvent struct {
-	Name string         `json:"name"`
-	Cat  string         `json:"cat"`
-	Ph   string         `json:"ph"`
-	Ts   float64        `json:"ts"`
-	Dur  float64        `json:"dur,omitempty"`
-	Pid  int            `json:"pid"`
-	Tid  int            `json:"tid"`
-	ID   int            `json:"id,omitempty"`
-	BP   string         `json:"bp,omitempty"`
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	ID   int     `json:"id,omitempty"`
+	BP   string  `json:"bp,omitempty"`
+	// S is the instant-event scope ("t" = thread) for Ph "i" events.
+	S    string         `json:"s,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -83,6 +85,20 @@ func BuildChromeTrace(r *Recorder) ChromeTrace {
 					Name: e.Op, Cat: "collective", Ph: "X",
 					Ts: e.Start * usec, Dur: e.Duration() * usec,
 					Pid: 0, Tid: rank,
+				})
+			case KindFault:
+				// Injected faults render as thread-scoped instant events:
+				// Perfetto paints a marker on the affected rank's row at
+				// the modeled instant the fault fired.
+				var args map[string]any
+				if e.Peer >= 0 {
+					args = map[string]any{"peer": e.Peer}
+				}
+				doc.TraceEvents = append(doc.TraceEvents, ChromeEvent{
+					Name: e.Op, Cat: "fault", Ph: "i", S: "t",
+					Ts:  e.Start * usec,
+					Pid: 0, Tid: rank,
+					Args: args,
 				})
 			}
 		}

@@ -15,9 +15,10 @@ const (
 	tlSend    = 's' // send start-up overhead
 	tlRecv    = 'r' // message body transfer into this rank
 	tlCompute = 'C'
+	tlFault   = '!' // injected fault marker (crash, drop, spike, ...)
 )
 
-var tlPriority = map[rune]int{tlIdle: 0, tlWait: 1, tlSend: 2, tlRecv: 3, tlCompute: 4}
+var tlPriority = map[rune]int{tlIdle: 0, tlWait: 1, tlSend: 2, tlRecv: 3, tlCompute: 4, tlFault: 5}
 
 // WriteTimeline renders the run as an ASCII per-rank timeline, one row
 // per processor and width buckets across [0, ModelTime]. It is the
@@ -80,13 +81,16 @@ func WriteTimeline(w io.Writer, r *Recorder, width int) error {
 					bodyFrom = e.Head
 				}
 				paint(bodyFrom, e.End, tlRecv)
+			case KindFault:
+				// Instants: widen to one bucket so the marker is visible.
+				paint(e.Start, e.Start+dt/2, tlFault)
 			}
 		}
 		if _, err := fmt.Fprintf(w, "r%-3d |%s|\n", rank, string(row)); err != nil {
 			return err
 		}
 	}
-	_, err := fmt.Fprintf(w, "%s\nlegend: C compute, r recv transfer, s send overhead, w wait, . idle\n",
+	_, err := fmt.Fprintf(w, "%s\nlegend: C compute, r recv transfer, s send overhead, w wait, ! fault, . idle\n",
 		strings.Repeat("-", width+6))
 	return err
 }

@@ -36,6 +36,11 @@ const (
 	// reduce, ...). Collective spans enclose the primitive events the
 	// collective's algorithm issued and carry the operation name in Op.
 	KindCollective
+	// KindFault is an injected-fault marker (crash, straggle window
+	// transition, dropped message, latency spike, peer-timeout). Fault
+	// events are instants: Start == End, with the fault name in Op and
+	// the peer rank in Peer where one is involved (-1 otherwise).
+	KindFault
 )
 
 // String returns a short human-readable kind name.
@@ -49,6 +54,8 @@ func (k Kind) String() string {
 		return "recv"
 	case KindCollective:
 		return "collective"
+	case KindFault:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -153,10 +153,10 @@ func TestMatrixMatchesProcStats(t *testing.T) {
 // collective moved anything.
 func TestCriticalPathBoundsMakespan(t *testing.T) {
 	colls := map[string]func(p *comm.Proc, counts []int){
-		"barrier":    func(p *comm.Proc, _ []int) { p.Barrier() },
-		"bcast":      func(p *comm.Proc, _ []int) { p.BcastFloats(0, make([]float64, 32)) },
-		"reduce":     func(p *comm.Proc, _ []int) { p.Reduce(0, make([]float64, 32), comm.OpSum) },
-		"allreduce":  func(p *comm.Proc, _ []int) { p.Allreduce(make([]float64, 32), comm.OpMax) },
+		"barrier":   func(p *comm.Proc, _ []int) { p.Barrier() },
+		"bcast":     func(p *comm.Proc, _ []int) { p.BcastFloats(0, make([]float64, 32)) },
+		"reduce":    func(p *comm.Proc, _ []int) { p.Reduce(0, make([]float64, 32), comm.OpSum) },
+		"allreduce": func(p *comm.Proc, _ []int) { p.Allreduce(make([]float64, 32), comm.OpMax) },
 		"allreduce-tree": func(p *comm.Proc, _ []int) {
 			p.AllreduceWith(make([]float64, 64), comm.OpSum, comm.AlgoTree)
 		},
