@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick
+.PHONY: all build vet test race check bench quick serve-smoke
 
 all: check
 
@@ -23,19 +23,27 @@ test:
 # mat-vec kernels now share pooled buffers and workspaces across those
 # goroutines, so they race-test too. The fault injector and the
 # checkpoint store are shared across ranks and restart attempts, so
-# internal/fault and the resilient hpfexec driver join the pass.
+# internal/fault and the resilient hpfexec driver join the pass. The
+# solver service multiplexes jobs across worker goroutines and batches,
+# so internal/serve joins too.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/...
 
 check: build vet test race
 
 # Modeled-machine benchmarks (send path allocation counts included),
-# plus the E19 communication-avoidance and E20 resilience smoke runs
-# with JSON snapshots for regression diffing.
+# plus the E19 communication-avoidance, E20 resilience and E21 solver-
+# service smoke runs with JSON snapshots for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
 	$(GO) run ./cmd/cgbench -exp E20 -quick -json BENCH_E20_quick.json
+	$(GO) run ./cmd/cgbench -exp E21 -quick -json BENCH_E21_quick.json
+
+# End-to-end service check: start hpfserve on a loopback port, submit a
+# job to it over HTTP, assert convergence.
+serve-smoke:
+	$(GO) run ./cmd/hpfserve -smoke
 
 # Small-size smoke run of every experiment.
 quick:

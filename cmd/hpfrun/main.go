@@ -10,6 +10,7 @@
 //	hpfrun -np 8 -matrix powerlawc:2000:1 -demo balanced
 //	hpfrun -np 4 -matrix banded:512:4 -demo csc-merge -commmatrix
 //	hpfrun -np 4 -matrix banded:512:4 -demo csr -timeout 30s
+//	hpfrun -np 4 -file matrix.mtx -demo csr
 package main
 
 import (
@@ -59,6 +60,7 @@ func main() {
 	var (
 		np         = flag.Int("np", 4, "number of virtual processors")
 		matrixSpec = flag.String("matrix", "banded:512:4", "generator spec (see cgsolve -help)")
+		matrixFile = flag.String("file", "", "Matrix Market file to solve (overrides -matrix)")
 		topoName   = flag.String("topology", "hypercube", "hypercube | ring | mesh2d | full")
 		tol        = flag.Float64("tol", 1e-10, "relative residual tolerance")
 		demo       = flag.String("demo", "", "built-in directive program: csr | csc-serial | csc-merge | balanced")
@@ -89,9 +91,25 @@ func main() {
 		fatal(fmt.Errorf("need a directive file argument or -demo"))
 	}
 
-	A, err := sparse.GeneratorByName(*matrixSpec)
+	var A *sparse.CSR
+	var err error
+	matrixName := *matrixSpec
+	if *matrixFile != "" {
+		f, ferr := os.Open(*matrixFile)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		A, err = sparse.ReadMatrixMarket(f)
+		f.Close()
+		matrixName = *matrixFile
+	} else {
+		A, err = sparse.GeneratorByName(*matrixSpec)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if A.NRows != A.NCols {
+		fatal(fmt.Errorf("matrix %s is not square (%dx%d)", matrixName, A.NRows, A.NCols))
 	}
 	n, nz := A.NRows, A.NNZ()
 	b := sparse.RandomVector(n, 42) // deterministic, nontrivial rhs
@@ -154,7 +172,7 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("matrix:   n=%d nnz=%d (%s)\n", n, nz, *matrixSpec)
+	fmt.Printf("matrix:   n=%d nnz=%d (%s)\n", n, nz, matrixName)
 	fmt.Printf("plan:\n%s", plan.Describe())
 	fmt.Printf("strategy: %s\n", res.Strategy)
 	fmt.Printf("solver:   %s\n", res.Stats)

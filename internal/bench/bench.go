@@ -93,6 +93,7 @@ var experiments = map[string]Runner{
 	"E18": E18,
 	"E19": E19,
 	"E20": E20,
+	"E21": E21,
 }
 
 // IDs lists the experiment identifiers in run order.

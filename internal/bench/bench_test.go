@@ -16,10 +16,10 @@ func quickCfg() Config {
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 20 {
-		t.Fatalf("%d experiments registered, want 20", len(ids))
+	if len(ids) != 21 {
+		t.Fatalf("%d experiments registered, want 21", len(ids))
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E20" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E21" {
 		t.Errorf("order wrong: %v", ids)
 	}
 }
@@ -500,5 +500,50 @@ func TestE20ResilienceShape(t *testing.T) {
 	}
 	if crashed && best >= scratch {
 		t.Errorf("no checkpoint interval beats restart-from-scratch: best %g vs %g", best, scratch)
+	}
+}
+
+// E21: the solver service must amortize setup. Table 2 is
+// deterministic (one worker, preloaded queue, exact occupancy): the
+// per-job share of the modeled setup must fall monotonically with the
+// batch cap, and a batch of 4 must cut it to at most a third of the
+// solo cost while the per-solve model time stays flat.
+func TestE21BatchingAmortizes(t *testing.T) {
+	tables, err := E21(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	// Table 1: every sweep cell processed its full job count.
+	for _, row := range tables[0].Rows {
+		if parseF(t, row[4]) <= 0 {
+			t.Errorf("non-positive throughput: %v", row)
+		}
+	}
+	perJobSetup := map[int]float64{}
+	perJobSolve := map[int]float64{}
+	for _, row := range tables[1].Rows {
+		b, _ := strconv.Atoi(row[0])
+		if occ := parseF(t, row[1]); occ != float64(b) {
+			t.Errorf("batch %d: occupancy %g not exact", b, occ)
+		}
+		perJobSetup[b] = parseF(t, row[3])
+		perJobSolve[b] = parseF(t, row[4])
+	}
+	if perJobSetup[1] <= 0 {
+		t.Fatal("solo setup share is zero — stage attribution broken")
+	}
+	if !(perJobSetup[8] < perJobSetup[4] && perJobSetup[4] < perJobSetup[2] && perJobSetup[2] < perJobSetup[1]) {
+		t.Errorf("setup share not monotone in batch size: %v", perJobSetup)
+	}
+	if perJobSetup[4] > perJobSetup[1]/3 {
+		t.Errorf("batch=4 setup share %g not under 1/3 of solo %g", perJobSetup[4], perJobSetup[1])
+	}
+	for b, s := range perJobSolve {
+		if rel := math.Abs(s-perJobSolve[1]) / perJobSolve[1]; rel > 0.05 {
+			t.Errorf("batch %d per-solve model time drifted %g%% from solo", b, rel*100)
+		}
 	}
 }

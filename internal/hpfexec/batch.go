@@ -1,0 +1,255 @@
+// Batch execution: the solver-as-a-service entry points. A service
+// that fields many solve requests against the same matrix should not
+// re-run the directive binding, the partitioner, the CSC conversion,
+// and the inspector's ghost-schedule exchange for every right-hand
+// side — the paper's §2 framing (one partitioned/inspected matrix,
+// many solves) and the enlarged-CG line both amortize exactly that
+// setup. Prepare captures everything RHS-independent once; SolveBatch
+// then solves a whole slice of right-hand sides in a single SPMD run,
+// building the operator (and exchanging the inspector schedule) once
+// and reusing one pooled core.Workspace per processor, so every solve
+// after the first is allocation-free on the hot path.
+//
+// Bit-identity: each RHS's solution is bit-identical to what a solo
+// SolveCG with the same spec would produce — the workspace hands back
+// zeroed vectors exactly like fresh allocation, the operator's pooled
+// gather buffers are PR 2's bit-stable reuse, and the solver sequence
+// per RHS is unchanged. TestBatchBitIdenticalToSolo holds this.
+package hpfexec
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/hpf"
+	"hpfcg/internal/sparse"
+)
+
+// Layout names the canonical directive programs a service request can
+// select without shipping directive text. They mirror cmd/hpfrun's
+// -demo listings: the paper's Scenario 1 (row-block CSR), Scenario 2
+// in its HPF-1 serialized and PRIVATE/MERGE(+) parallel executions,
+// and the §5.2.2 balanced-partitioner redistribution.
+var layoutPrograms = map[string]string{
+	"csr": `
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ ALIGN (:) WITH p(:) :: q, r, x, b
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+`,
+	"csc-serial": `
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ SPARSE_MATRIX (CSC) :: smA(colptr, rowidx, a)
+`,
+	"csc-merge": `
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ SPARSE_MATRIX (CSC) :: smA(colptr, rowidx, a)
+!EXT$ ITERATION j ON PROCESSOR(j*np/n), PRIVATE(q(n)) WITH MERGE(+)
+`,
+	"balanced": `
+!HPF$ PROCESSORS :: PROCS(NP)
+!HPF$ DISTRIBUTE p(BLOCK)
+!HPF$ SPARSE_MATRIX (CSR) :: smA(row, col, a)
+!EXT$ INDIVISABLE a(ATOM:i) :: row(i:i+1)
+!EXT$ REDISTRIBUTE smA USING CG_BALANCED_PARTITIONER_1
+`,
+}
+
+// Layouts lists the canonical layout names PlanForLayout accepts.
+func Layouts() []string { return []string{"csr", "csc-serial", "csc-merge", "balanced"} }
+
+// PlanForLayout parses and binds the canonical directive program for
+// the named layout against an n×n matrix with nz stored entries on np
+// processors.
+func PlanForLayout(layout string, np, n, nz int) (*hpf.Plan, error) {
+	src, ok := layoutPrograms[layout]
+	if !ok {
+		return nil, fmt.Errorf("hpfexec: unknown layout %q (have %v)", layout, Layouts())
+	}
+	prog, err := hpf.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	sizes := map[string]int{
+		"p": n, "q": n, "r": n, "x": n, "b": n,
+		"row": n + 1, "col": nz, "a": nz,
+		"colptr": n + 1, "rowidx": nz,
+	}
+	if layout == "csc-serial" || layout == "csc-merge" {
+		sizes["row"] = nz // the CSC trio's row-index array
+	}
+	return hpf.Bind(prog, np, sizes, map[string]int{"n": n, "nz": nz})
+}
+
+// Prepared is a reusable prepared-matrix handle: the RHS-independent
+// part of a directive-driven solve (plan validation, execution
+// strategy, partitioner redistribution, CSC conversion), bound to one
+// machine. One Prepared serves any number of SolveBatch calls.
+type Prepared struct {
+	m        *comm.Machine
+	A        *sparse.CSR
+	pc       *preparedCG
+	strategy Strategy
+}
+
+// Prepare validates the plan against the matrix and fixes the
+// execution strategy, returning the handle batch solves run from.
+func Prepare(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR) (*Prepared, error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{m: m, A: A, pc: pc, strategy: pc.strategy}, nil
+}
+
+// Strategy returns the execution strategy the directives selected.
+// For the CSR layout the executor choice (ghost vs broadcast) is made
+// collectively inside the first run; until then Mode reads "local".
+func (pr *Prepared) Strategy() Strategy { return pr.strategy }
+
+// N returns the system size.
+func (pr *Prepared) N() int { return pr.A.NRows }
+
+// BatchResult is a completed multi-RHS batch solve.
+type BatchResult struct {
+	// Results holds one Result per right-hand side, in input order.
+	// Each Result.Run is the shared batch run's statistics (the run is
+	// one SPMD program; per-RHS modeled spans are in SolveModelTime).
+	Results []*Result
+	// Run is the whole batch's machine statistics.
+	Run comm.RunStats
+	// SetupModelTime is the modeled time (max over ranks) spent before
+	// the first solve: operator construction, the inspector's ghost
+	// schedule exchange, and the executor-selection collective. This is
+	// the cost batching amortizes across len(Results) solves.
+	SetupModelTime float64
+	// SolveModelTime[k] is the modeled span of solve k alone (max rank
+	// clock after solve k minus max rank clock before it).
+	SolveModelTime []float64
+}
+
+// SolveCGBatch solves A·x = b_k for every right-hand side in rhs in a
+// single SPMD run: the mat-vec operator is built (and its inspector
+// schedule exchanged) once, then each RHS is solved in order reusing
+// one pooled core.Workspace per processor. opts[k] configures solve k;
+// a single-element opts slice applies to every RHS.
+func SolveCGBatch(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, rhs [][]float64, opts []core.Options) (*BatchResult, error) {
+	pr, err := Prepare(m, plan, A)
+	if err != nil {
+		return nil, err
+	}
+	return pr.SolveBatch(rhs, opts)
+}
+
+// SolveBatch runs one batch of right-hand sides (see SolveCGBatch).
+func (pr *Prepared) SolveBatch(rhs [][]float64, opts []core.Options) (*BatchResult, error) {
+	if len(rhs) == 0 {
+		return nil, fmt.Errorf("hpfexec: empty batch")
+	}
+	n := pr.A.NRows
+	for k, b := range rhs {
+		if len(b) != n {
+			return nil, fmt.Errorf("hpfexec: rhs %d length %d != %d", k, len(b), n)
+		}
+	}
+	if len(opts) != 1 && len(opts) != len(rhs) {
+		return nil, fmt.Errorf("hpfexec: got %d option sets for %d right-hand sides", len(opts), len(rhs))
+	}
+	optFor := func(k int) core.Options {
+		if len(opts) == 1 {
+			return opts[0]
+		}
+		return opts[k]
+	}
+
+	pc := pr.pc
+	np := pr.m.NP()
+	out := &BatchResult{
+		Results:        make([]*Result, len(rhs)),
+		SolveModelTime: make([]float64, len(rhs)),
+	}
+	// marks[r][0] is rank r's clock after setup; marks[r][k+1] after
+	// solve k. Each rank writes only its own row, so no locking.
+	marks := make([][]float64, np)
+	for r := range marks {
+		marks[r] = make([]float64, len(rhs)+1)
+	}
+	stats := make([]core.Stats, len(rhs))
+	xs := make([][]float64, len(rhs))
+	var solveErr error
+	var ghostChosen bool
+
+	run, err := pr.m.RunChecked(func(p *comm.Proc) {
+		op, ghost := pc.operator(p)
+		if ghost && p.Rank() == 0 {
+			ghostChosen = true
+		}
+		bv := darray.New(p, pc.d)
+		xv := darray.New(p, pc.d)
+		work := core.NewWorkspace()
+		marks[p.Rank()][0] = p.Clock()
+		for k := range rhs {
+			b := rhs[k]
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			xv.Fill(0)
+			opt := optFor(k)
+			opt.Work = work
+			st, err := core.CG(p, op, bv, xv, opt)
+			if err != nil {
+				if p.Rank() == 0 {
+					solveErr = fmt.Errorf("hpfexec: batch rhs %d: %w", k, err)
+				}
+				return
+			}
+			full := xv.Gather()
+			if p.Rank() == 0 {
+				xs[k] = full
+				stats[k] = st
+			}
+			marks[p.Rank()][k+1] = p.Clock()
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if solveErr != nil {
+		return nil, solveErr
+	}
+
+	strategy := pc.strategy
+	if pc.format == "csr" {
+		if ghostChosen {
+			strategy.Mode = "local(ghost)"
+		} else {
+			strategy.Mode = "local(broadcast)"
+		}
+	}
+	pr.strategy = strategy
+
+	// Fold the per-rank clock marks into per-stage modeled spans.
+	maxAt := func(j int) float64 {
+		m := 0.0
+		for r := 0; r < np; r++ {
+			if marks[r][j] > m {
+				m = marks[r][j]
+			}
+		}
+		return m
+	}
+	out.SetupModelTime = maxAt(0)
+	prev := out.SetupModelTime
+	for k := range rhs {
+		end := maxAt(k + 1)
+		out.SolveModelTime[k] = end - prev
+		prev = end
+	}
+	out.Run = run
+	for k := range rhs {
+		out.Results[k] = &Result{X: xs[k], Stats: stats[k], Run: run, Strategy: strategy}
+	}
+	return out, nil
+}

@@ -184,27 +184,60 @@ func SolveCGResilient(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float6
 // selects the plain core.CG.
 type solveFn func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error)
 
-// prepareCG validates the plan against the matrix and builds the SPMD
-// body plus the post-run assembly, so the Solve variants share
-// everything but the Run call and the solver.
-func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, solve solveFn) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
-	if solve == nil {
-		solve = func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
-			return core.CG(p, op, bv, xv, opt)
+// preparedCG is the RHS-independent analysis of a directive-driven CG
+// solve: the validated execution strategy, the vector distribution
+// (after any partitioner redistribution), and the converted matrix
+// forms. Both the solo prepareCG path and the batch path (batch.go)
+// run from it, so they cannot drift.
+type preparedCG struct {
+	A        *sparse.CSR
+	csc      *sparse.CSC
+	format   string // "csr" or "csc"
+	hasMerge bool
+	d        dist.Contiguous
+	strategy Strategy
+}
+
+// operator builds this rank's mat-vec operator inside the SPMD region.
+// For CSR it performs the inspector-based executor selection (ghost
+// halo vs broadcast) — a collective, so all ranks agree; ghost reports
+// the choice.
+func (pc *preparedCG) operator(p *comm.Proc) (op spmv.Operator, ghost bool) {
+	switch pc.format {
+	case "csr":
+		// Inspector-based executor selection: build the ghost schedule
+		// once; if the largest halo stays below a quarter of the vector,
+		// the halo exchange beats the broadcast (E14/E15), otherwise fall
+		// back to the allgather operator. The decision is collective so
+		// all processors take the same branch.
+		ghostOp := spmv.NewRowBlockCSRGhost(p, pc.A, pc.d)
+		maxGhosts := p.AllreduceScalar(float64(ghostOp.NGhosts()), comm.OpMax)
+		if maxGhosts <= 0.25*float64(pc.A.NRows) {
+			return ghostOp, true
 		}
+		return spmv.NewRowBlockCSR(p, pc.A, pc.d), false
+	case "csc":
+		mode := spmv.ModeSerialized
+		if pc.hasMerge {
+			mode = spmv.ModePrivateMerge
+		}
+		return spmv.NewColBlockCSC(p, pc.csc, pc.d, mode), false
 	}
+	panic("hpfexec: unreachable format " + pc.format)
+}
+
+// analyzeCG validates the plan against the matrix and fixes everything
+// a solve needs that does not depend on the right-hand side.
+func analyzeCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR) (*preparedCG, error) {
 	if A.NRows != A.NCols {
-		return nil, nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
+		return nil, fmt.Errorf("hpfexec: matrix must be square, got %dx%d", A.NRows, A.NCols)
 	}
 	n := A.NRows
-	if len(b) != n {
-		return nil, nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), n)
-	}
 	if plan.NP != m.NP() {
-		return nil, nil, fmt.Errorf("hpfexec: plan bound for %d processors, machine has %d", plan.NP, m.NP())
+		return nil, fmt.Errorf("hpfexec: plan bound for %d processors, machine has %d", plan.NP, m.NP())
 	}
 	if len(plan.Sparse) != 1 {
-		return nil, nil, fmt.Errorf("hpfexec: need exactly one SPARSE_MATRIX declaration, have %d", len(plan.Sparse))
+		return nil, fmt.Errorf("hpfexec: need exactly one SPARSE_MATRIX declaration, have %d", len(plan.Sparse))
 	}
 	var sm hpf.SparseMatrix
 	var smName string
@@ -217,11 +250,11 @@ func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt 
 	// n-sized array.
 	vecPlan, err := vectorRoot(plan, n)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	d, ok := vecPlan.Dist.(dist.Contiguous)
 	if !ok {
-		return nil, nil, fmt.Errorf("hpfexec: vector distribution %s is not contiguous; the mat-vec scenarios need BLOCK-like mappings", vecPlan.Dist.Name())
+		return nil, fmt.Errorf("hpfexec: vector distribution %s is not contiguous; the mat-vec scenarios need BLOCK-like mappings", vecPlan.Dist.Name())
 	}
 
 	strategy := Strategy{}
@@ -235,7 +268,7 @@ func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt 
 		}
 		_, atomCuts, err := plan.BindPartitioner(smName, ptr)
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 		d = dist.NewIrregular(atomCuts)
 		strategy.Balanced = true
@@ -268,40 +301,39 @@ func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt 
 			strategy.Mode = "serialized"
 		}
 	default:
-		return nil, nil, fmt.Errorf("hpfexec: unsupported sparse format %q", sm.Format)
+		return nil, fmt.Errorf("hpfexec: unsupported sparse format %q", sm.Format)
 	}
 
-	res := &Result{Strategy: strategy}
+	return &preparedCG{A: A, csc: csc, format: sm.Format, hasMerge: hasMerge, d: d, strategy: strategy}, nil
+}
+
+// prepareCG builds the SPMD body plus the post-run assembly for one
+// right-hand side, so the Solve variants share everything but the Run
+// call and the solver.
+func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, solve solveFn) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+	if solve == nil {
+		solve = func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
+			return core.CG(p, op, bv, xv, opt)
+		}
+	}
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b) != A.NRows {
+		return nil, nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), A.NRows)
+	}
+
+	res := &Result{Strategy: pc.strategy}
 	var solveErr error
 	var ghostChosen bool
 	fn := func(p *comm.Proc) {
-		var op spmv.Operator
-		switch sm.Format {
-		case "csr":
-			// Inspector-based executor selection: build the ghost
-			// schedule once; if the largest halo stays below a quarter of
-			// the vector, the halo exchange beats the broadcast (E14/E15),
-			// otherwise fall back to the allgather operator. The decision
-			// is collective so all processors take the same branch.
-			ghostOp := spmv.NewRowBlockCSRGhost(p, A, d)
-			maxGhosts := p.AllreduceScalar(float64(ghostOp.NGhosts()), comm.OpMax)
-			if maxGhosts <= 0.25*float64(A.NRows) {
-				op = ghostOp
-				if p.Rank() == 0 {
-					ghostChosen = true
-				}
-			} else {
-				op = spmv.NewRowBlockCSR(p, A, d)
-			}
-		case "csc":
-			mode := spmv.ModeSerialized
-			if hasMerge {
-				mode = spmv.ModePrivateMerge
-			}
-			op = spmv.NewColBlockCSC(p, csc, d, mode)
+		op, ghost := pc.operator(p)
+		if ghost && p.Rank() == 0 {
+			ghostChosen = true
 		}
-		bv := darray.New(p, d)
-		xv := darray.New(p, d)
+		bv := darray.New(p, pc.d)
+		xv := darray.New(p, pc.d)
 		bv.SetGlobal(func(g int) float64 { return b[g] })
 		st, err := solve(p, op, bv, xv)
 		if err != nil {
@@ -320,7 +352,7 @@ func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt 
 		if solveErr != nil {
 			return nil, solveErr
 		}
-		if sm.Format == "csr" {
+		if pc.format == "csr" {
 			if ghostChosen {
 				res.Strategy.Mode = "local(ghost)"
 			} else {

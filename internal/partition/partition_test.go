@@ -316,3 +316,93 @@ func TestAtomCyclicValidation(t *testing.T) {
 	}()
 	NewAtomCyclic(a, 0)
 }
+
+// TestMoreProcessorsThanRows: np > nAtoms leaves processors empty but
+// every partitioner must still produce valid monotone cuts covering
+// all atoms, and the distributions must round-trip.
+func TestMoreProcessorsThanRows(t *testing.T) {
+	m := sparse.Banded(3, 1) // 3 rows, np up to 8
+	a := AtomsFromPtr(m.RowPtr)
+	for _, np := range []int{4, 8} {
+		for name, cuts := range map[string][]int{
+			"uniform":  UniformAtomBlock(a.NAtoms(), np),
+			"balanced": BalancedContiguous(a.Weights(), np),
+			"greedy":   GreedyContiguous(a.Weights(), np),
+		} {
+			if len(cuts) != np+1 || cuts[0] != 0 || cuts[np] != a.NAtoms() {
+				t.Fatalf("np=%d %s: bad cuts %v", np, name, cuts)
+			}
+			for r := 0; r < np; r++ {
+				if cuts[r] > cuts[r+1] {
+					t.Fatalf("np=%d %s: cuts not monotone %v", np, name, cuts)
+				}
+			}
+			ed := a.ElemDist(cuts)
+			total := 0
+			for r := 0; r < np; r++ {
+				total += ed.Count(r)
+			}
+			if total != a.NElems() {
+				t.Fatalf("np=%d %s: element counts sum %d != %d", np, name, total, a.NElems())
+			}
+		}
+	}
+}
+
+// TestSingleRowMatrix: one atom, any np — all elements on one
+// processor, the rest empty, imbalance = np.
+func TestSingleRowMatrix(t *testing.T) {
+	a := AtomsFromPtr([]int{0, 5}) // one atom of weight 5
+	for _, np := range []int{1, 2, 4} {
+		cuts := BalancedContiguous(a.Weights(), np)
+		ed := a.ElemDist(cuts)
+		owners := map[int]bool{}
+		for g := 0; g < 5; g++ {
+			owners[ed.Owner(g)] = true
+		}
+		if len(owners) != 1 {
+			t.Fatalf("np=%d: single atom split across %v", np, owners)
+		}
+		if got, want := Imbalance(a.Weights(), cuts), float64(np); got != want {
+			t.Errorf("np=%d: imbalance %g, want %g", np, got, want)
+		}
+		if Bottleneck(a.Weights(), cuts) != 5 {
+			t.Errorf("np=%d: bottleneck != 5", np)
+		}
+	}
+}
+
+// TestAtomCyclicUnevenAtoms: nAtoms not a multiple of np — the last
+// deal round is short, so counts differ by one atom's weight and the
+// round-trip must still be exact.
+func TestAtomCyclicUnevenAtoms(t *testing.T) {
+	// 7 atoms over np=3: procs own {0,3,6}, {1,4}, {2,5}.
+	a := AtomsFromPtr([]int{0, 2, 5, 6, 10, 11, 14, 15})
+	ac := NewAtomCyclic(a, 3)
+	wantCounts := []int{2 + 4 + 1, 3 + 1, 1 + 3}
+	for r, want := range wantCounts {
+		if got := ac.Count(r); got != want {
+			t.Errorf("proc %d: count %d, want %d", r, got, want)
+		}
+	}
+	for g := 0; g < ac.N(); g++ {
+		r, off := ac.Local(g)
+		if back := ac.Global(r, off); back != g {
+			t.Fatalf("Global(Local(%d)) = %d", g, back)
+		}
+	}
+	// np > nAtoms: trailing processors own nothing.
+	wide := NewAtomCyclic(a, 10)
+	for r := 7; r < 10; r++ {
+		if wide.Count(r) != 0 {
+			t.Errorf("proc %d: count %d, want 0 (no atom dealt)", r, wide.Count(r))
+		}
+	}
+	total := 0
+	for r := 0; r < 10; r++ {
+		total += wide.Count(r)
+	}
+	if total != a.NElems() {
+		t.Errorf("np=10: counts sum %d != %d", total, a.NElems())
+	}
+}

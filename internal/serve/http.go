@@ -1,0 +1,150 @@
+// HTTP surface of the solver service. NewHandler wires the scheduler
+// into a mux the daemon (cmd/hpfserve) and the tests both serve:
+//
+//	POST /jobs             submit a JobSpec; 202 + id, 429 on overflow
+//	GET  /jobs/{id}        job status; ?wait=1[&timeout=30s] blocks
+//	GET  /jobs/{id}/trace  Perfetto trace download (jobs with trace:true)
+//	GET  /metrics          Prometheus text format
+//	GET  /healthz          liveness
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// maxBodyBytes bounds a job submission (Matrix Market uploads can be
+// large, but not unbounded).
+const maxBodyBytes = 64 << 20
+
+// defaultWaitTimeout bounds ?wait=1 long-polls.
+const defaultWaitTimeout = 60 * time.Second
+
+// NewHandler returns the service's HTTP handler.
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) { handleSubmit(s, w, r) })
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) { handleGet(s, w, r) })
+	mux.HandleFunc("GET /jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) { handleTrace(s, w, r) })
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.Metrics().WriteProm(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// submitResponse acknowledges an admitted job.
+type submitResponse struct {
+	ID        string `json:"id"`
+	StatusURL string `json:"status_url"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		retry := strconv.Itoa(int((s.RetryAfter() + time.Second - 1) / time.Second))
+		var verr *ValidationError
+		switch {
+		case errors.As(err, &verr):
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrQueueFull):
+			// Backpressure: the queue is at capacity. 429 + Retry-After
+			// tells closed-loop clients when to come back.
+			w.Header().Set("Retry-After", retry)
+			writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: err.Error()})
+		case errors.Is(err, ErrDraining):
+			w.Header().Set("Retry-After", retry)
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, submitResponse{ID: j.ID, StatusURL: "/jobs/" + j.ID})
+}
+
+func handleGet(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if wait := r.URL.Query().Get("wait"); wait != "" && wait != "0" && wait != "false" {
+		timeout := defaultWaitTimeout
+		if ts := r.URL.Query().Get("timeout"); ts != "" {
+			d, err := time.ParseDuration(ts)
+			if err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad timeout: " + err.Error()})
+				return
+			}
+			timeout = d
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		v, err := s.Wait(ctx, id)
+		switch {
+		case err == nil:
+			writeJSON(w, http.StatusOK, v)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			// Long-poll expired: report the current state instead.
+			if v, ok := s.View(id); ok {
+				writeJSON(w, http.StatusOK, v)
+				return
+			}
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		default:
+			writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	v, ok := s.View(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func handleTrace(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, ok := s.View(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job " + id})
+		return
+	}
+	if v.State == StateQueued || v.State == StateRunning {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: "job " + id + " still " + string(v.State)})
+		return
+	}
+	tr, ok := s.TraceJSON(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "job " + id + " has no trace (submit with trace:true)"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="`+id+`.trace.json"`)
+	_, _ = w.Write(tr)
+}

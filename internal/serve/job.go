@@ -1,0 +1,250 @@
+// The job model of the solver service: what a client may ask for, how
+// a request is validated and normalized, and the batch key under which
+// same-matrix jobs coalesce.
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+	"time"
+
+	"hpfcg/internal/fault"
+	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/topology"
+)
+
+// JobSpec is one solve request. The matrix comes either from a
+// built-in generator spec (Matrix, e.g. "laplace2d:32:32") or from an
+// inline Matrix Market upload (MatrixMarket, which wins when both are
+// set). The right-hand side is either explicit (RHS) or the
+// deterministic sparse.RandomVector of Seed, so a request is fully
+// reproducible from its JSON.
+type JobSpec struct {
+	// Matrix is a generator spec (see sparse.GeneratorByName).
+	Matrix string `json:"matrix,omitempty"`
+	// MatrixMarket is an inline Matrix Market coordinate document.
+	MatrixMarket string `json:"matrix_market,omitempty"`
+	// Layout selects the execution: "csr" (default), "csc-serial",
+	// "csc-merge" or "balanced" (see hpfexec.Layouts).
+	Layout string `json:"layout,omitempty"`
+	// Method is the solver; only "cg" (the default) is served.
+	Method string `json:"method,omitempty"`
+	// NP is the virtual processor count (default 4).
+	NP int `json:"np,omitempty"`
+	// Topology is "hypercube" (default), "ring", "mesh2d" or "full".
+	Topology string `json:"topology,omitempty"`
+	// Tol is the relative residual tolerance (0 -> 1e-10).
+	Tol float64 `json:"tol,omitempty"`
+	// MaxIter caps iterations (0 -> 2n).
+	MaxIter int `json:"maxiter,omitempty"`
+	// Seed generates the right-hand side when RHS is empty (0 -> 42).
+	Seed int64 `json:"seed,omitempty"`
+	// RHS is an explicit right-hand side (length n).
+	RHS []float64 `json:"rhs,omitempty"`
+	// Fault is a fault-injection spec (fault.Parse syntax); it forces
+	// the job onto a dedicated machine.
+	Fault string `json:"fault,omitempty"`
+	// Resilient runs the solve under checkpoint/restart
+	// (hpfexec.SolveCGResilient) so injected crashes are survived.
+	Resilient bool `json:"resilient,omitempty"`
+	// CkptInterval checkpoints every N iterations (with Resilient).
+	CkptInterval int `json:"ckpt_interval,omitempty"`
+	// MaxRestarts bounds restart attempts (with Resilient).
+	MaxRestarts int `json:"max_restarts,omitempty"`
+	// TimeoutMS aborts a deadlocked solve after this much wall time
+	// (hpfexec.SolveCGTimeout).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Trace captures a Perfetto/Chrome trace of the solve, downloadable
+	// from /jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// normalize fills defaults in place.
+func (sp *JobSpec) normalize() {
+	if sp.Layout == "" {
+		sp.Layout = "csr"
+	}
+	if sp.Method == "" {
+		sp.Method = "cg"
+	}
+	if sp.NP == 0 {
+		sp.NP = 4
+	}
+	if sp.Topology == "" {
+		sp.Topology = "hypercube"
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 42
+	}
+	sp.Matrix = strings.TrimSpace(sp.Matrix)
+}
+
+// validate rejects requests the service cannot run. Matrix content
+// errors (bad generator spec, malformed Matrix Market) surface when
+// the job runs; validate only checks what is knowable for free.
+func (sp *JobSpec) validate(maxNP int) error {
+	if sp.Matrix == "" && sp.MatrixMarket == "" {
+		return fmt.Errorf("serve: job needs matrix or matrix_market")
+	}
+	if sp.Method != "cg" {
+		return fmt.Errorf("serve: unsupported method %q (only cg is served)", sp.Method)
+	}
+	valid := false
+	for _, l := range hpfexec.Layouts() {
+		if sp.Layout == l {
+			valid = true
+		}
+	}
+	if !valid {
+		return fmt.Errorf("serve: unknown layout %q (have %v)", sp.Layout, hpfexec.Layouts())
+	}
+	if sp.NP < 1 || sp.NP > maxNP {
+		return fmt.Errorf("serve: np %d outside [1,%d]", sp.NP, maxNP)
+	}
+	if _, err := topology.ByName(sp.Topology); err != nil {
+		return err
+	}
+	if sp.Tol < 0 {
+		return fmt.Errorf("serve: negative tolerance %g", sp.Tol)
+	}
+	if sp.MaxIter < 0 || sp.TimeoutMS < 0 || sp.CkptInterval < 0 || sp.MaxRestarts < 0 {
+		return fmt.Errorf("serve: negative iteration/timeout bounds")
+	}
+	if sp.Fault != "" {
+		if _, err := fault.Parse(sp.Fault); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchable reports whether the job may coalesce with same-matrix
+// jobs. Fault injection, tracing, timeouts and resilient mode all
+// need a run (or a machine attachment) of their own.
+func (sp *JobSpec) batchable() bool {
+	return sp.Fault == "" && !sp.Resilient && sp.TimeoutMS == 0 && !sp.Trace
+}
+
+// batchKey identifies the shared setup two jobs can amortize: the same
+// matrix, assembled the same way, on the same machine shape. Tolerance,
+// iteration caps, seeds and explicit right-hand sides stay per-job.
+type batchKey struct {
+	matrix   string
+	layout   string
+	np       int
+	topology string
+}
+
+func (sp *JobSpec) key() batchKey {
+	mat := "gen:" + sp.Matrix
+	if sp.MatrixMarket != "" {
+		h := fnv.New64a()
+		h.Write([]byte(sp.MatrixMarket))
+		mat = fmt.Sprintf("mm:%016x", h.Sum64())
+	}
+	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology}
+}
+
+// buildMatrix assembles the job's matrix.
+func (sp *JobSpec) buildMatrix() (*sparse.CSR, error) {
+	if sp.MatrixMarket != "" {
+		return sparse.ReadMatrixMarket(strings.NewReader(sp.MatrixMarket))
+	}
+	return sparse.GeneratorByName(sp.Matrix)
+}
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued -> Running -> Done | Failed. Jobs rejected at
+// admission are never stored.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Job is one admitted request. Mutable fields are guarded by the
+// scheduler's lock; read them through Scheduler.View or after Done.
+type Job struct {
+	ID   string
+	Spec JobSpec
+
+	state     State
+	err       string
+	result    *JobResult
+	traceJSON []byte
+
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+
+	done chan struct{}
+
+	key       batchKey
+	batchable bool
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// JobResult is the solver outcome the service reports.
+type JobResult struct {
+	X          []float64 `json:"x,omitempty"`
+	Converged  bool      `json:"converged"`
+	Iterations int       `json:"iterations"`
+	Residual   float64   `json:"residual"`
+	Strategy   string    `json:"strategy"`
+	// ModelTime is the batch run's modeled makespan;
+	// SolveModelTime this job's own modeled span within it, and
+	// SetupModelTime the shared setup the batch paid once.
+	ModelTime      float64 `json:"model_time"`
+	SolveModelTime float64 `json:"solve_model_time"`
+	SetupModelTime float64 `json:"setup_model_time"`
+	// CommTime is the batch run's modeled communication time.
+	CommTime float64 `json:"comm_time"`
+	// BatchSize is how many jobs shared the run (1 = solo).
+	BatchSize int `json:"batch_size"`
+	// Attempts/Failures report resilient-mode recovery (0 otherwise).
+	Attempts int `json:"attempts,omitempty"`
+	Failures int `json:"failures,omitempty"`
+}
+
+// JobView is the externally visible snapshot of a job.
+type JobView struct {
+	ID        string     `json:"id"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	HasTrace  bool       `json:"has_trace,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started,omitempty"`
+	Finished  time.Time  `json:"finished,omitempty"`
+	// QueueSeconds and RunSeconds are wall-clock stage latencies.
+	QueueSeconds float64 `json:"queue_seconds,omitempty"`
+	RunSeconds   float64 `json:"run_seconds,omitempty"`
+}
+
+// view snapshots the job; the caller holds the scheduler lock.
+func (j *Job) view() JobView {
+	v := JobView{
+		ID:        j.ID,
+		State:     j.state,
+		Error:     j.err,
+		Result:    j.result,
+		HasTrace:  len(j.traceJSON) > 0,
+		Submitted: j.submitted,
+		Started:   j.started,
+		Finished:  j.finished,
+	}
+	if !j.started.IsZero() {
+		v.QueueSeconds = j.started.Sub(j.submitted).Seconds()
+	}
+	if !j.finished.IsZero() {
+		v.RunSeconds = j.finished.Sub(j.started).Seconds()
+	}
+	return v
+}

@@ -1,0 +1,200 @@
+// Live service metrics in Prometheus text exposition format,
+// hand-rolled so the repo stays dependency-free. The scheduler owns
+// one Metrics and updates it at admission, dispatch and completion;
+// /metrics renders it.
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// histogram is a fixed-bucket Prometheus histogram (cumulative counts
+// rendered at exposition time).
+type histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implicit
+	counts []uint64  // len(bounds)+1, per-bucket (non-cumulative)
+	sum    float64
+	count  uint64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// write renders the histogram with an optional constant label prefix
+// (e.g. `stage="queue",`).
+func (h *histogram) write(w io.Writer, name, label string) {
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, label, fmt.Sprintf("%g", b), cum)
+	}
+	cum += h.counts[len(h.bounds)]
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, label, cum)
+	suffix := ""
+	if label != "" {
+		suffix = "{" + label[:len(label)-1] + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, suffix, h.sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, h.count)
+}
+
+// secondsBuckets spans 10µs..100s in half-decade steps — wide enough
+// for both queue waits and whole-batch solves.
+func secondsBuckets() []float64 {
+	return []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1, 3, 10, 30, 100}
+}
+
+// occupancyBuckets cover batch sizes 1..32.
+func occupancyBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32}
+}
+
+// Metrics is the service's live counter set.
+type Metrics struct {
+	mu sync.Mutex
+
+	submitted uint64
+	completed uint64
+	failed    uint64
+	rejected  map[string]uint64 // by reason: queue_full, draining
+
+	queueDepth int
+	inflight   int
+
+	queueWait *histogram // submit -> dispatch, wall seconds
+	runWall   *histogram // dispatch -> finish, wall seconds
+	occupancy *histogram // jobs per batch
+
+	batches      uint64
+	modelSeconds map[string]float64 // makespan, comm, setup
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		rejected:     map[string]uint64{},
+		queueWait:    newHistogram(secondsBuckets()),
+		runWall:      newHistogram(secondsBuckets()),
+		occupancy:    newHistogram(occupancyBuckets()),
+		modelSeconds: map[string]float64{},
+	}
+}
+
+func (mt *Metrics) submit()           { mt.mu.Lock(); mt.submitted++; mt.mu.Unlock() }
+func (mt *Metrics) reject(why string) { mt.mu.Lock(); mt.rejected[why]++; mt.mu.Unlock() }
+
+func (mt *Metrics) setGauges(queueDepth, inflight int) {
+	mt.mu.Lock()
+	mt.queueDepth, mt.inflight = queueDepth, inflight
+	mt.mu.Unlock()
+}
+
+func (mt *Metrics) dispatch(batchSize int, queueWaits []float64) {
+	mt.mu.Lock()
+	mt.batches++
+	mt.occupancy.observe(float64(batchSize))
+	for _, qw := range queueWaits {
+		mt.queueWait.observe(qw)
+	}
+	mt.mu.Unlock()
+}
+
+func (mt *Metrics) finish(ok bool, runSeconds float64) {
+	mt.mu.Lock()
+	if ok {
+		mt.completed++
+	} else {
+		mt.failed++
+	}
+	mt.runWall.observe(runSeconds)
+	mt.mu.Unlock()
+}
+
+func (mt *Metrics) addModel(makespan, comm, setup float64) {
+	mt.mu.Lock()
+	mt.modelSeconds["makespan"] += makespan
+	mt.modelSeconds["comm"] += comm
+	mt.modelSeconds["setup"] += setup
+	mt.mu.Unlock()
+}
+
+// Snapshot returns headline counters for tests and logs.
+func (mt *Metrics) Snapshot() (submitted, completed, failed, rejected uint64) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+	for _, n := range mt.rejected {
+		rejected += n
+	}
+	return mt.submitted, mt.completed, mt.failed, rejected
+}
+
+// WriteProm renders the metrics in Prometheus text format.
+func (mt *Metrics) WriteProm(w io.Writer) {
+	mt.mu.Lock()
+	defer mt.mu.Unlock()
+
+	fmt.Fprintln(w, "# HELP hpfserve_jobs_submitted_total Jobs admitted to the queue.")
+	fmt.Fprintln(w, "# TYPE hpfserve_jobs_submitted_total counter")
+	fmt.Fprintf(w, "hpfserve_jobs_submitted_total %d\n", mt.submitted)
+
+	fmt.Fprintln(w, "# HELP hpfserve_jobs_rejected_total Jobs rejected at admission, by reason.")
+	fmt.Fprintln(w, "# TYPE hpfserve_jobs_rejected_total counter")
+	reasons := make([]string, 0, len(mt.rejected))
+	for r := range mt.rejected {
+		reasons = append(reasons, r)
+	}
+	sort.Strings(reasons)
+	for _, r := range reasons {
+		fmt.Fprintf(w, "hpfserve_jobs_rejected_total{reason=%q} %d\n", r, mt.rejected[r])
+	}
+
+	fmt.Fprintln(w, "# HELP hpfserve_jobs_completed_total Jobs finished successfully.")
+	fmt.Fprintln(w, "# TYPE hpfserve_jobs_completed_total counter")
+	fmt.Fprintf(w, "hpfserve_jobs_completed_total %d\n", mt.completed)
+
+	fmt.Fprintln(w, "# HELP hpfserve_jobs_failed_total Jobs that ended in error.")
+	fmt.Fprintln(w, "# TYPE hpfserve_jobs_failed_total counter")
+	fmt.Fprintf(w, "hpfserve_jobs_failed_total %d\n", mt.failed)
+
+	fmt.Fprintln(w, "# HELP hpfserve_queue_depth Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE hpfserve_queue_depth gauge")
+	fmt.Fprintf(w, "hpfserve_queue_depth %d\n", mt.queueDepth)
+
+	fmt.Fprintln(w, "# HELP hpfserve_inflight_jobs Jobs currently being solved.")
+	fmt.Fprintln(w, "# TYPE hpfserve_inflight_jobs gauge")
+	fmt.Fprintf(w, "hpfserve_inflight_jobs %d\n", mt.inflight)
+
+	fmt.Fprintln(w, "# HELP hpfserve_batches_total Worker dispatches (a batch may carry several jobs).")
+	fmt.Fprintln(w, "# TYPE hpfserve_batches_total counter")
+	fmt.Fprintf(w, "hpfserve_batches_total %d\n", mt.batches)
+
+	fmt.Fprintln(w, "# HELP hpfserve_stage_seconds Wall-clock latency per lifecycle stage.")
+	fmt.Fprintln(w, "# TYPE hpfserve_stage_seconds histogram")
+	mt.queueWait.write(w, "hpfserve_stage_seconds", `stage="queue",`)
+	mt.runWall.write(w, "hpfserve_stage_seconds", `stage="solve",`)
+
+	fmt.Fprintln(w, "# HELP hpfserve_batch_occupancy Jobs coalesced per dispatched batch.")
+	fmt.Fprintln(w, "# TYPE hpfserve_batch_occupancy histogram")
+	mt.occupancy.write(w, "hpfserve_batch_occupancy", "")
+
+	fmt.Fprintln(w, "# HELP hpfserve_model_seconds_total Modeled machine time accumulated across runs.")
+	fmt.Fprintln(w, "# TYPE hpfserve_model_seconds_total counter")
+	kinds := make([]string, 0, len(mt.modelSeconds))
+	for k := range mt.modelSeconds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "hpfserve_model_seconds_total{kind=%q} %g\n", k, mt.modelSeconds[k])
+	}
+}

@@ -1,0 +1,423 @@
+// Package serve turns the one-shot solver stack into a service: a
+// bounded admission queue with backpressure, a worker pool where each
+// worker owns its SPMD machines, and a scheduler whose headline
+// optimisation is same-matrix batching — jobs against an identical
+// matrix/layout/np/topology key coalesce into one SPMD run, so the
+// matrix is assembled, partitioned and inspector-exchanged once and
+// the batch of right-hand sides is solved back-to-back from a pooled
+// workspace (hpfexec.SolveCGBatch). This is the paper's §2 shape (one
+// partitioned/inspected matrix, many solves) run as a request loop.
+//
+// Lifecycle is production-grade: per-job wall timeouts route through
+// hpfexec.SolveCGTimeout, fault-injected jobs can run resilient via
+// hpfexec.SolveCGResilient, Drain stops admission, rejects what is
+// still queued and lets in-flight batches finish, and Metrics renders
+// live Prometheus text (queue depth, in-flight, stage latency
+// histograms, batch occupancy, modeled machine-time totals).
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/topology"
+)
+
+// Admission errors. HTTP maps ErrQueueFull to 429 + Retry-After and
+// ErrDraining to 503.
+var (
+	ErrQueueFull = errors.New("serve: admission queue full")
+	ErrDraining  = errors.New("serve: scheduler is draining")
+)
+
+// ValidationError wraps a rejected spec (HTTP 400).
+type ValidationError struct{ Err error }
+
+func (e *ValidationError) Error() string { return e.Err.Error() }
+func (e *ValidationError) Unwrap() error { return e.Err }
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers is the worker-pool size (default 2).
+	Workers int
+	// QueueCap bounds the admission queue (default 64); submissions
+	// beyond it get ErrQueueFull.
+	QueueCap int
+	// MaxBatch caps how many same-key jobs one dispatch coalesces
+	// (default 8; 1 disables batching).
+	MaxBatch int
+	// MaxNP bounds the per-job processor count (default 32).
+	MaxNP int
+	// RetryAfter is the backpressure hint returned with 429s
+	// (default 1s).
+	RetryAfter time.Duration
+	// StartPaused creates the scheduler with dispatch paused; Resume
+	// starts it. Tests and benchmarks use this to preload the queue so
+	// batch composition is deterministic.
+	StartPaused bool
+	// BatchStarted, when non-nil, is called synchronously by a worker
+	// after it marks a batch running and before it solves. Tests use it
+	// to hold a batch in flight at a known point.
+	BatchStarted func(jobs []*Job)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap == 0 {
+		o.QueueCap = 64
+	}
+	if o.MaxBatch == 0 {
+		o.MaxBatch = 8
+	}
+	if o.MaxNP == 0 {
+		o.MaxNP = 32
+	}
+	if o.RetryAfter == 0 {
+		o.RetryAfter = time.Second
+	}
+	return o
+}
+
+// Scheduler is the solver service: admission, batching, workers.
+type Scheduler struct {
+	opts Options
+	met  *Metrics
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []*Job
+	jobs     map[string]*Job
+	nextID   int
+	paused   bool
+	draining bool
+	inflight int
+
+	wg sync.WaitGroup
+}
+
+// New starts a scheduler with opts.Workers workers.
+func New(opts Options) *Scheduler {
+	s := &Scheduler{
+		opts:   opts.withDefaults(),
+		met:    newMetrics(),
+		jobs:   map[string]*Job{},
+		paused: opts.StartPaused,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the live metric set.
+func (s *Scheduler) Metrics() *Metrics { return s.met }
+
+// RetryAfter is the backpressure hint for rejected submissions.
+func (s *Scheduler) RetryAfter() time.Duration { return s.opts.RetryAfter }
+
+// Submit validates and enqueues a job. It returns ErrQueueFull when
+// the admission queue is at capacity (backpressure), ErrDraining after
+// Drain, and a *ValidationError for malformed specs.
+func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	spec.normalize()
+	if err := spec.validate(s.opts.MaxNP); err != nil {
+		s.met.reject("invalid")
+		return nil, &ValidationError{Err: err}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.met.reject("draining")
+		return nil, ErrDraining
+	}
+	if len(s.queue) >= s.opts.QueueCap {
+		s.met.reject("queue_full")
+		return nil, ErrQueueFull
+	}
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Spec:      spec,
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		key:       spec.key(),
+		batchable: spec.batchable(),
+	}
+	s.jobs[j.ID] = j
+	s.queue = append(s.queue, j)
+	s.met.submit()
+	s.met.setGauges(len(s.queue), s.inflight)
+	s.cond.Broadcast()
+	return j, nil
+}
+
+// View returns a snapshot of the job's externally visible state.
+func (s *Scheduler) View(id string) (JobView, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return JobView{}, false
+	}
+	return j.view(), true
+}
+
+// TraceJSON returns the job's captured Perfetto trace, if any.
+func (s *Scheduler) TraceJSON(id string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || len(j.traceJSON) == 0 {
+		return nil, false
+	}
+	return j.traceJSON, true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (s *Scheduler) Wait(ctx context.Context, id string) (JobView, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return JobView{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return JobView{}, ctx.Err()
+	}
+	v, _ := s.View(id)
+	return v, nil
+}
+
+// Resume starts dispatch on a paused scheduler.
+func (s *Scheduler) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Drain performs the graceful shutdown: admission closes immediately
+// (further Submits get ErrDraining), jobs still queued are failed as
+// rejected, and Drain then waits — up to ctx — for the in-flight
+// batches to finish. Workers exit afterwards.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		rejected := s.queue
+		s.queue = nil
+		now := time.Now()
+		for _, j := range rejected {
+			j.state = StateFailed
+			j.err = "rejected: server draining"
+			j.finished = now
+			close(j.done)
+			s.met.reject("draining")
+		}
+		s.met.setGauges(0, s.inflight)
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted with work in flight: %w", ctx.Err())
+	}
+}
+
+// worker is one pool member. It owns its SPMD machines (cached per
+// np/topology shape) so runs from different workers never share comm
+// state; fault- or trace-attached jobs get a dedicated machine.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	machines := map[string]*comm.Machine{}
+	for {
+		batch := s.nextBatch()
+		if batch == nil {
+			return
+		}
+		if s.opts.BatchStarted != nil {
+			s.opts.BatchStarted(batch)
+		}
+		s.runBatch(machines, batch)
+	}
+}
+
+// nextBatch blocks for work, pops the head job and coalesces every
+// same-key batchable job behind it (FIFO order preserved for the
+// rest). Returns nil when the scheduler is draining and the queue is
+// empty — the worker's signal to exit.
+func (s *Scheduler) nextBatch() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if len(s.queue) > 0 && !s.paused {
+			break
+		}
+		if s.draining {
+			return nil
+		}
+		s.cond.Wait()
+	}
+	head := s.queue[0]
+	batch := []*Job{head}
+	rest := s.queue[1:]
+	if head.batchable && s.opts.MaxBatch > 1 {
+		kept := rest[:0]
+		for _, j := range rest {
+			if len(batch) < s.opts.MaxBatch && j.batchable && j.key == head.key {
+				batch = append(batch, j)
+			} else {
+				kept = append(kept, j)
+			}
+		}
+		rest = kept
+	}
+	s.queue = append(s.queue[:0], rest...)
+	now := time.Now()
+	for _, j := range batch {
+		j.state = StateRunning
+		j.started = now
+	}
+	s.inflight += len(batch)
+	s.met.setGauges(len(s.queue), s.inflight)
+	waits := make([]float64, len(batch))
+	for i, j := range batch {
+		waits[i] = now.Sub(j.submitted).Seconds()
+	}
+	s.met.dispatch(len(batch), waits)
+	return batch
+}
+
+// machineKey caches per-worker machines by shape.
+func machineKey(np int, topo string) string { return fmt.Sprintf("%d/%s", np, topo) }
+
+// runBatch executes one dispatch: assemble the matrix and plan once,
+// then either the coalesced multi-RHS batch solve or the job's solo
+// special path (fault injection, tracing, timeout, resilient mode).
+func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
+	spec := batch[0].Spec
+
+	A, err := spec.buildMatrix()
+	if err != nil {
+		s.failAll(batch, fmt.Errorf("matrix: %w", err))
+		return
+	}
+	if A.NRows != A.NCols {
+		s.failAll(batch, fmt.Errorf("matrix: not square (%dx%d)", A.NRows, A.NCols))
+		return
+	}
+	n := A.NRows
+	plan, err := hpfexec.PlanForLayout(spec.Layout, spec.NP, n, A.NNZ())
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+
+	// Resolve each job's right-hand side; length mismatches fail only
+	// that job.
+	live := batch[:0:len(batch)]
+	rhs := make([][]float64, 0, len(batch))
+	opts := make([]core.Options, 0, len(batch))
+	for _, j := range batch {
+		b := j.Spec.RHS
+		if len(b) == 0 {
+			b = sparse.RandomVector(n, j.Spec.Seed)
+		} else if len(b) != n {
+			s.finishJob(j, nil, fmt.Errorf("rhs length %d != n=%d", len(b), n))
+			continue
+		}
+		live = append(live, j)
+		rhs = append(rhs, b)
+		opts = append(opts, core.Options{Tol: j.Spec.Tol, MaxIter: j.Spec.MaxIter})
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	if !spec.batchable() {
+		// Solo path; nextBatch never coalesces these.
+		s.runSolo(live[0], plan, A, rhs[0], opts[0])
+		return
+	}
+
+	topo, err := topology.ByName(spec.Topology)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	key := machineKey(spec.NP, spec.Topology)
+	m, ok := machines[key]
+	if !ok {
+		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		machines[key] = m
+	}
+	out, err := hpfexec.SolveCGBatch(m, plan, A, rhs, opts)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	s.met.addModel(out.Run.ModelTime, out.Run.CommTime(), out.SetupModelTime)
+	for k, j := range live {
+		r := out.Results[k]
+		s.finishJob(j, &JobResult{
+			X:              r.X,
+			Converged:      r.Stats.Converged,
+			Iterations:     r.Stats.Iterations,
+			Residual:       r.Stats.Residual,
+			Strategy:       r.Strategy.String(),
+			ModelTime:      out.Run.ModelTime,
+			SolveModelTime: out.SolveModelTime[k],
+			SetupModelTime: out.SetupModelTime,
+			CommTime:       out.Run.CommTime(),
+			BatchSize:      len(live),
+		}, nil)
+	}
+}
+
+// failAll finishes every job in the batch with the same error.
+func (s *Scheduler) failAll(batch []*Job, err error) {
+	for _, j := range batch {
+		s.finishJob(j, nil, err)
+	}
+}
+
+// finishJob moves a job to its terminal state and updates metrics.
+func (s *Scheduler) finishJob(j *Job, res *JobResult, err error) {
+	now := time.Now()
+	s.mu.Lock()
+	j.finished = now
+	if err != nil {
+		j.state = StateFailed
+		j.err = err.Error()
+	} else {
+		j.state = StateDone
+		j.result = res
+	}
+	s.inflight--
+	s.met.setGauges(len(s.queue), s.inflight)
+	close(j.done)
+	s.mu.Unlock()
+	s.met.finish(err == nil, now.Sub(j.started).Seconds())
+}

@@ -1,0 +1,515 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/topology"
+)
+
+func testCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// directSolve runs the same spec straight through hpfexec, bypassing
+// the service — the bit-identity reference.
+func directSolve(t *testing.T, spec JobSpec) *hpfexec.Result {
+	t.Helper()
+	spec.normalize()
+	A, err := spec.buildMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := hpfexec.PlanForLayout(spec.Layout, spec.NP, A.NRows, A.NNZ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := spec.RHS
+	if len(b) == 0 {
+		b = sparse.RandomVector(A.NRows, spec.Seed)
+	}
+	topo, err := topology.ByName(spec.Topology)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+	res, err := hpfexec.SolveCG(m, plan, A, b, core.Options{Tol: spec.Tol, MaxIter: spec.MaxIter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestJobBitIdenticalToDirect is the acceptance check: a job through
+// the scheduler returns exactly the bits hpfexec.SolveCG produces for
+// the same spec and seed.
+func TestJobBitIdenticalToDirect(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	spec := JobSpec{Matrix: "banded:128:4", NP: 4, Seed: 11}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone {
+		t.Fatalf("state %s (err %q)", v.State, v.Error)
+	}
+	if !v.Result.Converged {
+		t.Fatalf("did not converge: %+v", v.Result)
+	}
+	want := directSolve(t, spec)
+	if len(v.Result.X) != len(want.X) {
+		t.Fatalf("x length %d != %d", len(v.Result.X), len(want.X))
+	}
+	for i := range want.X {
+		if v.Result.X[i] != want.X[i] {
+			t.Fatalf("x[%d] service %v != direct %v (bit-identity broken)", i, v.Result.X[i], want.X[i])
+		}
+	}
+	if v.Result.Iterations != want.Stats.Iterations || v.Result.Strategy != want.Strategy.String() {
+		t.Errorf("stats drifted: %+v vs %v/%v", v.Result, want.Stats, want.Strategy)
+	}
+}
+
+// TestBatchCoalescingBitIdentical: same-matrix jobs submitted together
+// coalesce into one batch, and every RHS's answer still matches its
+// solo solve bit-for-bit.
+func TestBatchCoalescingBitIdentical(t *testing.T) {
+	s := New(Options{Workers: 1, MaxBatch: 8, StartPaused: true})
+	defer s.Drain(testCtx(t))
+	const njobs = 6
+	ids := make([]string, njobs)
+	specs := make([]JobSpec, njobs)
+	for k := 0; k < njobs; k++ {
+		specs[k] = JobSpec{Matrix: "laplace2d:12:12", NP: 4, Seed: int64(k + 1)}
+		j, err := s.Submit(specs[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[k] = j.ID
+	}
+	s.Resume()
+	for k, id := range ids {
+		v, err := s.Wait(testCtx(t), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Fatalf("job %d state %s (err %q)", k, v.State, v.Error)
+		}
+		if v.Result.BatchSize != njobs {
+			t.Fatalf("job %d batch size %d, want %d (coalescing failed)", k, v.Result.BatchSize, njobs)
+		}
+		want := directSolve(t, specs[k])
+		for i := range want.X {
+			if v.Result.X[i] != want.X[i] {
+				t.Fatalf("job %d: x[%d] batched %v != solo %v", k, i, v.Result.X[i], want.X[i])
+			}
+		}
+	}
+	// The batch paid one setup; per-job share is reported.
+	v, _ := s.View(ids[0])
+	if v.Result.SetupModelTime <= 0 || v.Result.SolveModelTime <= 0 {
+		t.Errorf("missing stage model times: %+v", v.Result)
+	}
+}
+
+// TestBatchKeySeparates: different matrices never coalesce.
+func TestBatchKeySeparates(t *testing.T) {
+	s := New(Options{Workers: 1, MaxBatch: 8, StartPaused: true})
+	defer s.Drain(testCtx(t))
+	j1, err := s.Submit(JobSpec{Matrix: "laplace1d:64", NP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(JobSpec{Matrix: "laplace1d:96", NP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Resume()
+	for _, id := range []string{j1.ID, j2.ID} {
+		v, err := s.Wait(testCtx(t), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone || v.Result.BatchSize != 1 {
+			t.Fatalf("%s: state %s batch %d, want done/1", id, v.State, v.Result.BatchSize)
+		}
+	}
+}
+
+// TestBackpressure: the bounded queue rejects the overflow submission
+// with ErrQueueFull while earlier jobs stay admitted.
+func TestBackpressure(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 2, StartPaused: true})
+	defer s.Drain(testCtx(t))
+	spec := JobSpec{Matrix: "laplace1d:32", NP: 2}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow err = %v, want ErrQueueFull", err)
+	}
+	_, _, _, rejected := s.Metrics().Snapshot()
+	if rejected != 1 {
+		t.Errorf("rejected = %d, want 1", rejected)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s := New(Options{Workers: 1, MaxNP: 8})
+	defer s.Drain(testCtx(t))
+	bad := []JobSpec{
+		{},                                        // no matrix
+		{Matrix: "laplace1d:32", NP: 99},          // np too big
+		{Matrix: "laplace1d:32", Layout: "weird"}, // unknown layout
+		{Matrix: "laplace1d:32", Method: "gmres"}, // unsupported method
+		{Matrix: "laplace1d:32", Topology: "x"},   // unknown topology
+		{Matrix: "laplace1d:32", Tol: -1},
+		{Matrix: "laplace1d:32", Fault: "crash:rank=nope"},
+	}
+	for i, spec := range bad {
+		_, err := s.Submit(spec)
+		var verr *ValidationError
+		if !errors.As(err, &verr) {
+			t.Errorf("spec %d: err = %v, want ValidationError", i, err)
+		}
+	}
+	// A bad generator spec is admitted (validation is free-only) and
+	// fails at run time.
+	j, err := s.Submit(JobSpec{Matrix: "nosuchgen:12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateFailed || v.Error == "" {
+		t.Fatalf("bad generator: state %s err %q, want failed", v.State, v.Error)
+	}
+}
+
+// TestSoloTraceJob: trace capture forces a solo run and the Perfetto
+// JSON is downloadable.
+func TestSoloTraceJob(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	j, err := s.Submit(JobSpec{Matrix: "laplace1d:48", NP: 2, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || v.Result.BatchSize != 1 {
+		t.Fatalf("state %s batch %d, want done/1", v.State, v.Result.BatchSize)
+	}
+	if !v.HasTrace {
+		t.Fatal("no trace captured")
+	}
+	tr, ok := s.TraceJSON(j.ID)
+	if !ok || !bytes.Contains(tr, []byte("traceEvents")) {
+		t.Fatalf("trace JSON missing or malformed (%d bytes)", len(tr))
+	}
+}
+
+// TestSoloResilientFaultJob: an injected crash is survived via
+// checkpoint/restart and the recovery is reported.
+func TestSoloResilientFaultJob(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	spec := JobSpec{
+		Matrix: "banded:192:4", NP: 4,
+		Fault: "crash:rank=1@t=0.2ms", Resilient: true,
+	}
+	j, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone {
+		t.Fatalf("state %s (err %q)", v.State, v.Error)
+	}
+	if !v.Result.Converged || v.Result.Attempts < 2 || v.Result.Failures < 1 {
+		t.Fatalf("recovery not reported: %+v", v.Result)
+	}
+	// The recovered answer matches the fault-free direct solve.
+	clean := directSolve(t, JobSpec{Matrix: spec.Matrix, NP: spec.NP})
+	for i := range clean.X {
+		if v.Result.X[i] != clean.X[i] {
+			t.Fatalf("x[%d] resilient %v != fault-free %v", i, v.Result.X[i], clean.X[i])
+		}
+	}
+}
+
+// TestSoloFaultJobFails: the same crash without resilient mode fails
+// the job with a typed peer-failure message rather than hanging.
+func TestSoloFaultJobFails(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	j, err := s.Submit(JobSpec{Matrix: "banded:192:4", NP: 4, Fault: "crash:rank=1@t=0.2ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateFailed || !strings.Contains(v.Error, "processor 1") {
+		t.Fatalf("state %s err %q, want failure naming processor 1", v.State, v.Error)
+	}
+}
+
+// TestTimeoutJob: the per-job watchdog path solves fine when nothing
+// hangs.
+func TestTimeoutJob(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	j, err := s.Submit(JobSpec{Matrix: "laplace1d:64", NP: 2, TimeoutMS: 30000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Wait(testCtx(t), j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || !v.Result.Converged {
+		t.Fatalf("state %s result %+v", v.State, v.Result)
+	}
+}
+
+// TestMatrixMarketUpload: an uploaded matrix solves and batches under
+// its content hash.
+func TestMatrixMarketUpload(t *testing.T) {
+	var mm bytes.Buffer
+	if err := sparse.WriteMatrixMarket(&mm, sparse.Laplace1D(40)); err != nil {
+		t.Fatal(err)
+	}
+	s := New(Options{Workers: 1, StartPaused: true})
+	defer s.Drain(testCtx(t))
+	var ids []string
+	for k := 0; k < 3; k++ {
+		j, err := s.Submit(JobSpec{MatrixMarket: mm.String(), NP: 2, Seed: int64(k + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	s.Resume()
+	for _, id := range ids {
+		v, err := s.Wait(testCtx(t), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone || !v.Result.Converged || v.Result.BatchSize != 3 {
+			t.Fatalf("%s: state %s result %+v", id, v.State, v.Result)
+		}
+	}
+}
+
+// --- HTTP surface ---
+
+func postJob(t *testing.T, ts *httptest.Server, spec any) (*http.Response, submitResponse) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sr submitResponse
+	_ = json.NewDecoder(resp.Body).Decode(&sr)
+	resp.Body.Close()
+	return resp, sr
+}
+
+func TestHTTPEndToEnd(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	spec := JobSpec{Matrix: "banded:96:3", NP: 4, Seed: 5}
+	resp, sr := postJob(t, ts, spec)
+	if resp.StatusCode != http.StatusAccepted || sr.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, sr)
+	}
+
+	get, err := http.Get(ts.URL + "/jobs/" + sr.ID + "?wait=1&timeout=30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer get.Body.Close()
+	var v JobView
+	if err := json.NewDecoder(get.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateDone || !v.Result.Converged {
+		t.Fatalf("job %+v", v)
+	}
+	want := directSolve(t, spec)
+	for i := range want.X {
+		if v.Result.X[i] != want.X[i] {
+			t.Fatalf("x[%d] over HTTP %v != direct %v", i, v.Result.X[i], want.X[i])
+		}
+	}
+
+	// Health and metrics.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusOK {
+			t.Errorf("%s: %d", path, r.StatusCode)
+		}
+	}
+
+	// Unknown job and bad spec.
+	r404, _ := http.Get(ts.URL + "/jobs/job-999")
+	r404.Body.Close()
+	if r404.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", r404.StatusCode)
+	}
+	respBad, _ := postJob(t, ts, map[string]any{"matrix": "laplace1d:32", "np": 9999})
+	if respBad.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad spec: %d, want 400", respBad.StatusCode)
+	}
+}
+
+func TestHTTPBackpressure429(t *testing.T) {
+	s := New(Options{Workers: 1, QueueCap: 1, StartPaused: true})
+	defer s.Drain(testCtx(t))
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	spec := JobSpec{Matrix: "laplace1d:32", NP: 2}
+	resp1, _ := postJob(t, ts, spec)
+	if resp1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d", resp1.StatusCode)
+	}
+	resp2, _ := postJob(t, ts, spec)
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow: %d, want 429", resp2.StatusCode)
+	}
+	if resp2.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	s.Resume()
+}
+
+func TestHTTPTraceDownload(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	_, sr := postJob(t, ts, JobSpec{Matrix: "laplace1d:48", NP: 2, Trace: true})
+	r, err := http.Get(ts.URL + "/jobs/" + sr.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+
+	tr, err := http.Get(ts.URL + "/jobs/" + sr.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace download: %d", tr.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(tr.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("traceEvents")) {
+		t.Fatalf("trace body not Perfetto JSON (%d bytes)", buf.Len())
+	}
+
+	// A traceless job 404s on /trace.
+	_, sr2 := postJob(t, ts, JobSpec{Matrix: "laplace1d:48", NP: 2})
+	r2, err := http.Get(ts.URL + "/jobs/" + sr2.ID + "?wait=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	tr2, _ := http.Get(ts.URL + "/jobs/" + sr2.ID + "/trace")
+	tr2.Body.Close()
+	if tr2.StatusCode != http.StatusNotFound {
+		t.Errorf("traceless /trace: %d, want 404", tr2.StatusCode)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	j, err := s.Submit(JobSpec{Matrix: "laplace1d:32", NP: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Wait(testCtx(t), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	s.Metrics().WriteProm(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"hpfserve_jobs_submitted_total 1",
+		"hpfserve_jobs_completed_total 1",
+		"hpfserve_queue_depth 0",
+		"hpfserve_inflight_jobs 0",
+		"hpfserve_batches_total 1",
+		`hpfserve_stage_seconds_bucket{stage="queue",le="+Inf"} 1`,
+		`hpfserve_stage_seconds_bucket{stage="solve",le="+Inf"} 1`,
+		`hpfserve_batch_occupancy_bucket{le="1"} 1`,
+		`hpfserve_model_seconds_total{kind="makespan"}`,
+		`hpfserve_model_seconds_total{kind="comm"}`,
+		`hpfserve_model_seconds_total{kind="setup"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	s := New(Options{Workers: 1})
+	defer s.Drain(testCtx(t))
+	if _, err := s.Wait(testCtx(t), "job-404"); err == nil {
+		t.Fatal("unknown job waited successfully")
+	}
+	if fmt.Sprint(ErrQueueFull) == "" || fmt.Sprint(ErrDraining) == "" {
+		t.Fatal("sentinel errors unprintable")
+	}
+}

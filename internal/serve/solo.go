@@ -1,0 +1,113 @@
+// The solo execution path: jobs that need their own machine — fault
+// injection, trace capture, wall-clock timeouts, resilient mode — run
+// one at a time on a machine built for the job, so injectors and
+// tracers never leak into the worker's pooled machines.
+package serve
+
+import (
+	"bytes"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/fault"
+	"hpfcg/internal/hpf"
+	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/topology"
+	"hpfcg/internal/trace"
+)
+
+func (s *Scheduler) runSolo(j *Job, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) {
+	spec := j.Spec
+	topo, err := topology.ByName(spec.Topology)
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+	if spec.Fault != "" {
+		plan, perr := fault.Parse(spec.Fault)
+		if perr != nil {
+			s.finishJob(j, nil, perr)
+			return
+		}
+		inj, ierr := fault.NewInjector(plan)
+		if ierr != nil {
+			s.finishJob(j, nil, ierr)
+			return
+		}
+		m.AttachInjector(inj)
+	}
+	var tr *trace.Tracer
+	if spec.Trace {
+		tr = &trace.Tracer{}
+		m.AttachTracer(tr)
+	}
+
+	res := &JobResult{BatchSize: 1}
+	var solveErr error
+	switch {
+	case spec.Resilient:
+		rres, err := hpfexec.SolveCGResilient(m, plan, A, b, opt, hpfexec.ResilientOptions{
+			Interval:    spec.CkptInterval,
+			MaxRestarts: spec.MaxRestarts,
+		})
+		if err != nil {
+			solveErr = err
+			break
+		}
+		res.Attempts = rres.Attempts
+		res.Failures = len(rres.Failures)
+		res.ModelTime = rres.TotalModelTime
+		fillResult(res, &rres.Result)
+	case spec.TimeoutMS > 0:
+		r, err := hpfexec.SolveCGTimeout(m, plan, A, b, opt, time.Duration(spec.TimeoutMS)*time.Millisecond)
+		if err != nil {
+			solveErr = err
+			break
+		}
+		res.ModelTime = r.Run.ModelTime
+		fillResult(res, r)
+	default:
+		r, err := hpfexec.SolveCG(m, plan, A, b, opt)
+		if err != nil {
+			solveErr = err
+			break
+		}
+		res.ModelTime = r.Run.ModelTime
+		fillResult(res, r)
+	}
+	if solveErr != nil {
+		s.finishJob(j, nil, solveErr)
+		return
+	}
+	res.SolveModelTime = res.ModelTime
+
+	if tr != nil {
+		if rec := tr.Last(); rec != nil {
+			var buf bytes.Buffer
+			if err := trace.WriteChromeTrace(&buf, rec); err == nil {
+				s.mu.Lock()
+				j.traceJSON = buf.Bytes()
+				s.mu.Unlock()
+			}
+		}
+	}
+	s.met.addModel(res.ModelTime, res.CommTime, 0)
+	s.finishJob(j, res, nil)
+}
+
+// fillResult copies the solver outcome shared by every solo variant.
+func fillResult(res *JobResult, r *hpfexec.Result) {
+	res.X = r.X
+	res.Converged = r.Stats.Converged
+	res.Iterations = r.Stats.Iterations
+	res.Residual = r.Stats.Residual
+	res.Strategy = r.Strategy.String()
+	res.CommTime = r.Run.CommTime()
+	if res.ModelTime == 0 {
+		res.ModelTime = r.Run.ModelTime
+	}
+}
+

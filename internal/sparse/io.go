@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 )
 
@@ -31,41 +32,52 @@ func WriteMatrixMarket(w io.Writer, m *CSR) error {
 
 // ReadMatrixMarket parses the coordinate real format written by
 // WriteMatrixMarket (general or symmetric; symmetric entries are
-// mirrored).
+// mirrored). Parse errors carry the 1-based line number of the
+// offending line. Non-finite values (NaN, ±Inf) and out-of-range
+// indices are rejected; duplicate coordinates are accumulated (their
+// values sum), which is the Matrix Market convention for assembled
+// finite-element matrices.
 func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
 	if !sc.Scan() {
 		return nil, fmt.Errorf("sparse: empty matrix market stream")
 	}
+	lineNo++
 	header := sc.Text()
 	if !strings.HasPrefix(header, "%%MatrixMarket") {
-		return nil, fmt.Errorf("sparse: bad header %q", header)
+		return nil, fmt.Errorf("sparse: line %d: bad header %q", lineNo, header)
 	}
 	fields := strings.Fields(strings.ToLower(header))
 	if len(fields) < 5 || fields[2] != "coordinate" || fields[3] != "real" {
-		return nil, fmt.Errorf("sparse: unsupported matrix market type %q", header)
+		return nil, fmt.Errorf("sparse: line %d: unsupported matrix market type %q", lineNo, header)
 	}
 	symmetric := fields[4] == "symmetric"
 
 	// Skip comments, read size line.
 	var nrows, ncols, nnz int
 	for sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
 		}
 		if _, err := fmt.Sscanf(line, "%d %d %d", &nrows, &ncols, &nnz); err != nil {
-			return nil, fmt.Errorf("sparse: bad size line %q: %w", line, err)
+			return nil, fmt.Errorf("sparse: line %d: bad size line %q: %w", lineNo, line, err)
 		}
 		break
 	}
 	if nrows <= 0 || ncols <= 0 {
-		return nil, fmt.Errorf("sparse: bad dimensions %dx%d", nrows, ncols)
+		return nil, fmt.Errorf("sparse: line %d: bad dimensions %dx%d", lineNo, nrows, ncols)
+	}
+	if nnz < 0 {
+		return nil, fmt.Errorf("sparse: line %d: negative entry count %d", lineNo, nnz)
 	}
 	coo := NewCOO(nrows, ncols)
 	read := 0
 	for read < nnz && sc.Scan() {
+		lineNo++
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
 			continue
@@ -73,10 +85,13 @@ func ReadMatrixMarket(r io.Reader) (*CSR, error) {
 		var i, j int
 		var v float64
 		if _, err := fmt.Sscanf(line, "%d %d %g", &i, &j, &v); err != nil {
-			return nil, fmt.Errorf("sparse: bad entry %q: %w", line, err)
+			return nil, fmt.Errorf("sparse: line %d: bad entry %q: %w", lineNo, line, err)
 		}
 		if i < 1 || i > nrows || j < 1 || j > ncols {
-			return nil, fmt.Errorf("sparse: entry (%d,%d) outside %dx%d", i, j, nrows, ncols)
+			return nil, fmt.Errorf("sparse: line %d: entry (%d,%d) outside %dx%d", lineNo, i, j, nrows, ncols)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sparse: line %d: non-finite value %g at (%d,%d)", lineNo, v, i, j)
 		}
 		coo.Add(i-1, j-1, v)
 		if symmetric && i != j {

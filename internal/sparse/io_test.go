@@ -120,3 +120,74 @@ func FuzzReadMatrixMarket(f *testing.F) {
 		}
 	})
 }
+
+// TestMatrixMarketRejectsNonFinite: NaN and ±Inf entries are refused
+// with the offending line number.
+func TestMatrixMarketRejectsNonFinite(t *testing.T) {
+	cases := map[string]string{
+		"nan":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 NaN\n",
+		"inf":  "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 Inf\n",
+		"-inf": "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n2 2 -Inf\n",
+	}
+	wantLine := map[string]string{"nan": "line 3", "inf": "line 3", "-inf": "line 4"}
+	for name, in := range cases {
+		_, err := ReadMatrixMarket(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-finite") || !strings.Contains(err.Error(), wantLine[name]) {
+			t.Errorf("%s: error %q lacks non-finite/%s", name, err, wantLine[name])
+		}
+	}
+}
+
+// TestMatrixMarketErrorLineNumbers: malformed and out-of-range entries
+// name the line they sit on, comments and blanks included in the count.
+func TestMatrixMarketErrorLineNumbers(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate real general\n" +
+		"% comment\n" +
+		"\n" +
+		"2 2 2\n" +
+		"1 1 1.0\n" +
+		"9 9 1.0\n" // line 6, out of range
+	_, err := ReadMatrixMarket(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 6") {
+		t.Errorf("out-of-range error lacks line 6: %v", err)
+	}
+
+	in2 := "%%MatrixMarket matrix coordinate real general\n" +
+		"2 2 1\n" +
+		"1 x 1.0\n" // line 3, malformed
+	_, err = ReadMatrixMarket(strings.NewReader(in2))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("malformed-entry error lacks line 3: %v", err)
+	}
+
+	_, err = ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate real general\n2 2 -1\n"))
+	if err == nil || !strings.Contains(err.Error(), "negative entry count") {
+		t.Errorf("negative nnz not rejected: %v", err)
+	}
+}
+
+// TestMatrixMarketDuplicatesAccumulate: repeated coordinates sum, the
+// Matrix Market convention for assembled finite-element matrices.
+func TestMatrixMarketDuplicatesAccumulate(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate real general
+2 2 4
+1 1 1.5
+1 1 2.5
+2 2 1.0
+1 1 -1.0
+`
+	m, err := ReadMatrixMarket(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.At(0, 0); got != 3.0 {
+		t.Errorf("duplicates not summed: At(0,0) = %g, want 3", got)
+	}
+	if m.NNZ() != 2 {
+		t.Errorf("NNZ = %d, want 2 after accumulation", m.NNZ())
+	}
+}
