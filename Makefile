@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick serve-smoke
+.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke
 
 all: check
 
@@ -25,25 +25,35 @@ test:
 # checkpoint store are shared across ranks and restart attempts, so
 # internal/fault and the resilient hpfexec driver join the pass. The
 # solver service multiplexes jobs across worker goroutines and batches,
-# so internal/serve joins too.
+# so internal/serve joins too. The cluster router proxies concurrent
+# submissions, scatters sweeps and merges metrics scrapes across
+# goroutines, so internal/cluster joins the pass.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/...
 
 check: build vet test race
 
 # Modeled-machine benchmarks (send path allocation counts included),
-# plus the E19 communication-avoidance, E20 resilience and E21 solver-
-# service smoke runs with JSON snapshots for regression diffing.
+# plus the E19 communication-avoidance, E20 resilience, E21 solver-
+# service and E22 cluster smoke runs with JSON snapshots for
+# regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
 	$(GO) run ./cmd/cgbench -exp E20 -quick -json BENCH_E20_quick.json
 	$(GO) run ./cmd/cgbench -exp E21 -quick -json BENCH_E21_quick.json
+	$(GO) run ./cmd/cgbench -exp E22 -quick -json BENCH_E22_quick.json
 
 # End-to-end service check: start hpfserve on a loopback port, submit a
 # job to it over HTTP, assert convergence.
 serve-smoke:
 	$(GO) run ./cmd/hpfserve -smoke
+
+# End-to-end cluster check: in-process router + two shards, repeat
+# traffic through the router, same shard both times, plan-registry hit
+# on the second solve, bit-identical answers.
+cluster-smoke:
+	$(GO) run ./cmd/hpfserve -cluster-smoke
 
 # Small-size smoke run of every experiment.
 quick:

@@ -44,14 +44,29 @@ func main() {
 		maxBatch = flag.Int("batch", 8, "max same-matrix jobs coalesced per dispatch")
 		maxNP    = flag.Int("maxnp", 32, "max virtual processors per job")
 		smoke    = flag.Bool("smoke", false, "self-test: serve on a loopback port, submit a job over HTTP, verify, exit")
+
+		planCacheMB = flag.Int64("plan-cache-mb", 256, "prepared-plan registry budget in MiB (0 disables)")
+
+		clusterRouter = flag.Bool("cluster-router", false, "run as the cluster router tier instead of a worker shard")
+		joinURL       = flag.String("join", "", "router URL to join as a worker shard (e.g. http://router:8080)")
+		shardName     = flag.String("name", "", "cluster-unique shard name (default: hostname + port)")
+		advertiseURL  = flag.String("advertise", "", "base URL other tiers reach this shard at (default http://127.0.0.1<addr>)")
+		clusterSmoke  = flag.Bool("cluster-smoke", false, "self-test: in-process router + 2 shards, repeat traffic, verify plan-registry hit, exit")
 	)
 	flag.Parse()
 
+	// The flag speaks MiB with 0 = off; serve.Options speaks bytes with
+	// 0 = default and negative = off.
+	planCacheBytes := *planCacheMB << 20
+	if *planCacheMB <= 0 {
+		planCacheBytes = -1
+	}
 	opts := serve.Options{
-		Workers:  *workers,
-		QueueCap: *queueCap,
-		MaxBatch: *maxBatch,
-		MaxNP:    *maxNP,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		MaxBatch:       *maxBatch,
+		MaxNP:          *maxNP,
+		PlanCacheBytes: planCacheBytes,
 	}
 
 	if *smoke {
@@ -61,12 +76,35 @@ func main() {
 		fmt.Println("smoke: ok")
 		return
 	}
+	if *clusterSmoke {
+		if err := runClusterSmoke(opts); err != nil {
+			log.Fatalf("cluster-smoke: %v", err)
+		}
+		fmt.Println("cluster-smoke: ok")
+		return
+	}
+	if *clusterRouter {
+		runRouter(*addr)
+		return
+	}
 
 	sched := serve.New(opts)
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(sched)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// When joining a cluster, membership runs beside the job server:
+	// register + heartbeat now, deregister on shutdown so the ring
+	// rebalances immediately.
+	var leaveCluster func()
+	if *joinURL != "" {
+		var err error
+		leaveCluster, err = startJoiner(*joinURL, *shardName, *advertiseURL, *addr)
+		if err != nil {
+			log.Fatalf("cluster join: %v", err)
+		}
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -80,9 +118,12 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: close admission and fail the queue first so
-	// clients get immediate 503s, let in-flight batches finish, then
-	// close the listener.
+	// Graceful drain: leave the ring first (stop new traffic at the
+	// router), then close admission and fail the queue so clients get
+	// immediate 503s, let in-flight batches finish, close the listener.
+	if leaveCluster != nil {
+		leaveCluster()
+	}
 	log.Print("hpfserve draining...")
 	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -94,6 +94,7 @@ var experiments = map[string]Runner{
 	"E19": E19,
 	"E20": E20,
 	"E21": E21,
+	"E22": E22,
 }
 
 // IDs lists the experiment identifiers in run order.

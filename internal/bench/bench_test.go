@@ -16,10 +16,10 @@ func quickCfg() Config {
 
 func TestIDsOrderedAndComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 21 {
-		t.Fatalf("%d experiments registered, want 21", len(ids))
+	if len(ids) != 22 {
+		t.Fatalf("%d experiments registered, want 22", len(ids))
 	}
-	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E21" {
+	if ids[0] != "E1" || ids[1] != "E2" || ids[len(ids)-1] != "E22" {
 		t.Errorf("order wrong: %v", ids)
 	}
 }
@@ -544,6 +544,52 @@ func TestE21BatchingAmortizes(t *testing.T) {
 	for b, s := range perJobSolve {
 		if rel := math.Abs(s-perJobSolve[1]) / perJobSolve[1]; rel > 0.05 {
 			t.Errorf("batch %d per-solve model time drifted %g%% from solo", b, rel*100)
+		}
+	}
+}
+
+// E22: the cluster must serve warm plan-cache traffic with zero
+// modeled setup. Table 2 is deterministic (sequential passes over a
+// fixed matrix set, occupancy 1): pass 0 is all misses with positive
+// setup, every later pass is all hits with setup exactly 0 and a
+// solve model time identical to the cold pass.
+func TestE22WarmPathZeroSetup(t *testing.T) {
+	tables, err := E22(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("want 2 tables, got %d", len(tables))
+	}
+	for _, row := range tables[0].Rows {
+		if parseF(t, row[3]) <= 0 {
+			t.Errorf("non-positive cluster throughput: %v", row)
+		}
+	}
+	var coldSolve float64
+	for i, row := range tables[1].Rows {
+		hitRate := parseF(t, row[3])
+		setup := parseF(t, row[4])
+		share := parseF(t, row[5])
+		solve := parseF(t, row[6])
+		if i == 0 {
+			if hitRate != 0 {
+				t.Errorf("cold pass hit rate %g, want 0", hitRate)
+			}
+			if setup <= 0 {
+				t.Errorf("cold pass setup %g, want > 0", setup)
+			}
+			coldSolve = solve
+			continue
+		}
+		if hitRate != 1 {
+			t.Errorf("pass %d hit rate %g, want 1", i, hitRate)
+		}
+		if setup != 0 || share != 0 {
+			t.Errorf("pass %d warm setup %g (share %g), want exactly 0", i, setup, share)
+		}
+		if solve != coldSolve {
+			t.Errorf("pass %d solve model %g differs from cold %g", i, solve, coldSolve)
 		}
 	}
 }

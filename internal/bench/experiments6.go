@@ -46,8 +46,8 @@ func e21ClosedLoop(cfg Config, matrix string) (*report.Table, error) {
 	}
 
 	t1 := &report.Table{
-		ID:    "E21",
-		Title: fmt.Sprintf("Solver service closed-loop sweep (%d jobs per client, 2 workers)", perClient),
+		ID:     "E21",
+		Title:  fmt.Sprintf("Solver service closed-loop sweep (%d jobs per client, 2 workers)", perClient),
 		Header: []string{"clients", "max_batch", "np", "jobs", "jobs_per_s", "mean_lat_ms", "mean_occupancy", "retries"},
 		Notes: []string{
 			"Closed loop: each client submits, waits for the result, repeats; ErrQueueFull",
@@ -61,10 +61,11 @@ func e21ClosedLoop(cfg Config, matrix string) (*report.Table, error) {
 		for _, mb := range batchCaps {
 			for _, np := range nps {
 				s := serve.New(serve.Options{
-					Workers:    2,
-					QueueCap:   nc * perClient,
-					MaxBatch:   mb,
-					RetryAfter: 2 * time.Millisecond,
+					Workers:        2,
+					QueueCap:       nc * perClient,
+					MaxBatch:       mb,
+					RetryAfter:     2 * time.Millisecond,
+					PlanCacheBytes: -1, // registry off: E21 isolates batching (E22 measures the cache)
 				})
 				total := nc * perClient
 				var (
@@ -148,8 +149,8 @@ func e21Amortization(cfg Config, matrix string) (*report.Table, error) {
 	batchCaps := []int{1, 2, 4, 8}
 
 	t2 := &report.Table{
-		ID:    "E21",
-		Title: fmt.Sprintf("Same-matrix batching amortization (%s, np=%d, %d jobs, 1 worker)", matrix, np, jobs),
+		ID:     "E21",
+		Title:  fmt.Sprintf("Same-matrix batching amortization (%s, np=%d, %d jobs, 1 worker)", matrix, np, jobs),
 		Header: []string{"batch", "occupancy", "setup_model_s", "setup_per_job_s", "solve_per_job_s", "model_per_job_s"},
 		Notes: []string{
 			"One worker, queue preloaded while paused, so every dispatch coalesces exactly",
@@ -165,6 +166,10 @@ func e21Amortization(cfg Config, matrix string) (*report.Table, error) {
 			QueueCap:    jobs,
 			MaxBatch:    mb,
 			StartPaused: true,
+			// Registry off: with it, only the first batch would pay setup
+			// and every batch cap would amortize identically. E21 measures
+			// within-batch amortization; E22 measures the plan cache.
+			PlanCacheBytes: -1,
 		})
 		ids := make([]string, jobs)
 		for k := 0; k < jobs; k++ {

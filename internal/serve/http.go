@@ -5,11 +5,18 @@
 //	GET  /jobs/{id}        job status; ?wait=1[&timeout=30s] blocks
 //	GET  /jobs/{id}/trace  Perfetto trace download (jobs with trace:true)
 //	GET  /metrics          Prometheus text format
-//	GET  /healthz          liveness
+//	GET  /healthz          liveness (always 200 while the process runs)
+//	GET  /readyz           readiness (503 once draining)
+//
+// POST /jobs accepts an optional X-Request-ID header (one is generated
+// when absent) and echoes it on the response, so a request can be
+// correlated across router→shard proxy hops and logs.
 package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -38,7 +45,31 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	// Readiness is distinct from liveness: a draining scheduler is
+	// still alive (it answers status polls for in-flight jobs) but must
+	// stop receiving new traffic, so load balancers watch /readyz.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
 	return mux
+}
+
+// RequestIDHeader carries the correlation ID across proxy hops.
+const RequestIDHeader = "X-Request-ID"
+
+// EnsureRequestID returns the request's correlation ID, generating one
+// when the client sent none.
+func EnsureRequestID(r *http.Request) string {
+	if id := r.Header.Get(RequestIDHeader); id != "" {
+		return id
+	}
+	var b [6]byte
+	_, _ = rand.Read(b[:])
+	return "req-" + hex.EncodeToString(b[:])
 }
 
 // submitResponse acknowledges an admitted job.
@@ -60,6 +91,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func handleSubmit(s *Scheduler, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(RequestIDHeader, EnsureRequestID(r))
 	var spec JobSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()

@@ -1,0 +1,268 @@
+// HTTP-surface tests for the readiness split, request-ID propagation
+// and the backpressure plumbing (queue-full responses and metric
+// exposition invariants under concurrent scrapes).
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Scheduler, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	ts := httptest.NewServer(NewHandler(s))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func TestReadyzFlipsOnDrain(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 1})
+
+	for _, path := range []string{"/healthz", "/readyz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %d before drain", path, resp.StatusCode)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Liveness stays up (the process still answers status polls);
+	// readiness must be 503 so balancers stop sending traffic.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d after drain", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz %d after drain, want 503", resp.StatusCode)
+	}
+}
+
+func TestRequestIDEchoedAndGenerated(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+
+	// Client-supplied ID is echoed verbatim.
+	req, _ := http.NewRequest("POST", ts.URL+"/jobs", strings.NewReader(`{"matrix":"laplace1d:16","np":2}`))
+	req.Header.Set(RequestIDHeader, "trace-me-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(RequestIDHeader); got != "trace-me-42" {
+		t.Fatalf("request id %q, want trace-me-42", got)
+	}
+
+	// Absent ID: one is generated, even on rejected submissions.
+	resp2, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(`{"np":2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp2.StatusCode)
+	}
+	if got := resp2.Header.Get(RequestIDHeader); !strings.HasPrefix(got, "req-") {
+		t.Fatalf("generated request id %q, want req- prefix", got)
+	}
+}
+
+// TestQueueFullRetryAfter: 429 responses must carry a sane,
+// integer-seconds Retry-After the closed-loop clients key off.
+func TestQueueFullRetryAfter(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		Workers: 1, QueueCap: 1, StartPaused: true, RetryAfter: 1500 * time.Millisecond,
+	})
+
+	submit := func() *http.Response {
+		resp, err := http.Post(ts.URL+"/jobs", "application/json",
+			strings.NewReader(`{"matrix":"laplace1d:32","np":2}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+	if resp := submit(); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit %d, want 202", resp.StatusCode)
+	}
+	resp := submit()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not integer seconds: %v", ra, err)
+	}
+	// 1500ms rounds up to 2s; anything in [1, 60] is a sane hint, 0
+	// would make clients busy-spin.
+	if sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After %d outside [1,60]", sec)
+	}
+	if sec != 2 {
+		t.Fatalf("Retry-After %d, want ceil(1.5s) = 2", sec)
+	}
+}
+
+// TestMetricsHistogramInvariantsUnderConcurrentScrapes: while jobs
+// complete concurrently, every scrape must render histograms whose
+// bucket counts are monotone non-decreasing in le and whose +Inf
+// bucket equals _count — i.e. cumulative and internally consistent.
+func TestMetricsHistogramInvariantsUnderConcurrentScrapes(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2, QueueCap: 64})
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			j, err := s.Submit(JobSpec{Matrix: "laplace1d:64", NP: 2, Seed: int64(i + 1)})
+			if err != nil {
+				continue
+			}
+			s.Wait(context.Background(), j.ID)
+		}
+	}()
+
+	for scrape := 0; scrape < 20; scrape++ {
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		resp.Body.Close()
+		checkHistograms(t, buf.String())
+	}
+	close(stop)
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Drain(ctx)
+}
+
+// checkHistograms parses every *_bucket series in a Prometheus text
+// exposition and asserts cumulative monotonicity plus +Inf == _count.
+func checkHistograms(t *testing.T, text string) {
+	t.Helper()
+	type series struct {
+		last    float64
+		lastSet bool
+		inf     float64
+		infSeen bool
+	}
+	buckets := map[string]*series{} // metric name + non-le labels
+	counts := map[string]float64{}
+
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		name, valStr := fields[0], fields[1]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q", line)
+		}
+		switch {
+		case strings.Contains(name, "_bucket{"):
+			base, le, ok := splitLE(name)
+			if !ok {
+				t.Fatalf("bucket sample without le: %q", line)
+			}
+			sr := buckets[base]
+			if sr == nil {
+				sr = &series{}
+				buckets[base] = sr
+			}
+			if le == "+Inf" {
+				sr.inf, sr.infSeen = val, true
+			} else {
+				if sr.lastSet && val < sr.last {
+					t.Fatalf("%s: bucket counts not monotone (%g after %g)", base, val, sr.last)
+				}
+				sr.last, sr.lastSet = val, true
+			}
+		case strings.Contains(name, "_count"):
+			counts[strings.Replace(name, "_count", "", 1)] = val
+		}
+	}
+	if len(buckets) == 0 {
+		t.Fatal("no histogram buckets in exposition")
+	}
+	for base, sr := range buckets {
+		if !sr.infSeen {
+			t.Fatalf("%s: no +Inf bucket", base)
+		}
+		if sr.lastSet && sr.inf < sr.last {
+			t.Fatalf("%s: +Inf bucket %g below last finite bucket %g", base, sr.inf, sr.last)
+		}
+		if c, ok := counts[base]; ok && c != sr.inf {
+			t.Fatalf("%s: +Inf bucket %g != _count %g", base, sr.inf, c)
+		}
+	}
+}
+
+// splitLE splits `name{labels,le="x"}` into the series key without the
+// le label and the le value.
+func splitLE(sample string) (base, le string, ok bool) {
+	i := strings.Index(sample, "{")
+	if i < 0 {
+		return "", "", false
+	}
+	name, labels := sample[:i], strings.Trim(sample[i+1:], "{}")
+	var kept []string
+	for _, part := range strings.Split(labels, ",") {
+		if strings.HasPrefix(part, "le=") {
+			le = strings.Trim(strings.TrimPrefix(part, "le="), `"`)
+			continue
+		}
+		if part != "" {
+			kept = append(kept, part)
+		}
+	}
+	if le == "" {
+		return "", "", false
+	}
+	base = strings.TrimSuffix(name, "_bucket")
+	if len(kept) > 0 {
+		base = fmt.Sprintf("%s{%s}", base, strings.Join(kept, ","))
+	}
+	return base, le, true
+}

@@ -147,6 +147,39 @@ func (sp *JobSpec) key() batchKey {
 	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology}
 }
 
+// ContentHash returns the canonical content digest of the job's
+// matrix: generator specs are hashed by their parameters (the matrix
+// need not be generated), Matrix Market uploads by the canonical CSR
+// digest, so two uploads of the same matrix — reordered entries,
+// different whitespace — digest identically. The cluster router shards
+// by this hash and the plan registry keys on it, which is what lands
+// repeat traffic on the node already holding the prepared plan.
+func (sp *JobSpec) ContentHash() (string, error) {
+	h, _, err := sp.contentHashMatrix()
+	return h, err
+}
+
+// contentHashMatrix computes the content hash and, when hashing had to
+// assemble the matrix anyway (Matrix Market uploads), returns it so
+// the caller does not parse twice. Generator specs return a nil
+// matrix — on a plan-cache hit it is never built at all.
+func (sp *JobSpec) contentHashMatrix() (string, *sparse.CSR, error) {
+	if sp.MatrixMarket != "" {
+		A, err := sparse.ReadMatrixMarket(strings.NewReader(sp.MatrixMarket))
+		if err != nil {
+			return "", nil, fmt.Errorf("matrix: %w", err)
+		}
+		return sparse.ContentHash(A), A, nil
+	}
+	return sparse.HashGeneratorSpec(sp.Matrix), nil, nil
+}
+
+// planKey is the registry key: the matrix content plus everything that
+// shapes the prepared plan (layout, machine size, topology).
+func (sp *JobSpec) planKey(hash string) string {
+	return fmt.Sprintf("%s|%s|%d|%s", hash, sp.Layout, sp.NP, sp.Topology)
+}
+
 // buildMatrix assembles the job's matrix.
 func (sp *JobSpec) buildMatrix() (*sparse.CSR, error) {
 	if sp.MatrixMarket != "" {
@@ -208,6 +241,9 @@ type JobResult struct {
 	CommTime float64 `json:"comm_time"`
 	// BatchSize is how many jobs shared the run (1 = solo).
 	BatchSize int `json:"batch_size"`
+	// PlanCacheHit reports that the solve ran from a warm registry
+	// plan: no partitioning, no inspector exchange, SetupModelTime 0.
+	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
 	// Attempts/Failures report resilient-mode recovery (0 otherwise).
 	Attempts int `json:"attempts,omitempty"`
 	Failures int `json:"failures,omitempty"`

@@ -9,6 +9,8 @@ import (
 	"io"
 	"sort"
 	"sync"
+
+	"hpfcg/internal/hpfexec"
 )
 
 // histogram is a fixed-bucket Prometheus histogram (cumulative counts
@@ -78,6 +80,10 @@ type Metrics struct {
 
 	batches      uint64
 	modelSeconds map[string]float64 // makespan, comm, setup
+
+	// planStats, when non-nil, snapshots the Prepared-plan registry at
+	// exposition time (set by the scheduler when the cache is enabled).
+	planStats func() hpfexec.RegistryStats
 }
 
 func newMetrics() *Metrics {
@@ -186,6 +192,25 @@ func (mt *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintln(w, "# HELP hpfserve_batch_occupancy Jobs coalesced per dispatched batch.")
 	fmt.Fprintln(w, "# TYPE hpfserve_batch_occupancy histogram")
 	mt.occupancy.write(w, "hpfserve_batch_occupancy", "")
+
+	if mt.planStats != nil {
+		st := mt.planStats()
+		fmt.Fprintln(w, "# HELP hpfserve_plan_cache_hits_total Batch dispatches served from a cached prepared plan.")
+		fmt.Fprintln(w, "# TYPE hpfserve_plan_cache_hits_total counter")
+		fmt.Fprintf(w, "hpfserve_plan_cache_hits_total %d\n", st.Hits)
+		fmt.Fprintln(w, "# HELP hpfserve_plan_cache_misses_total Batch dispatches that had to prepare a plan.")
+		fmt.Fprintln(w, "# TYPE hpfserve_plan_cache_misses_total counter")
+		fmt.Fprintf(w, "hpfserve_plan_cache_misses_total %d\n", st.Misses)
+		fmt.Fprintln(w, "# HELP hpfserve_plan_cache_evictions_total Plans evicted under the byte budget.")
+		fmt.Fprintln(w, "# TYPE hpfserve_plan_cache_evictions_total counter")
+		fmt.Fprintf(w, "hpfserve_plan_cache_evictions_total %d\n", st.Evictions)
+		fmt.Fprintln(w, "# HELP hpfserve_plan_cache_entries Plans currently cached.")
+		fmt.Fprintln(w, "# TYPE hpfserve_plan_cache_entries gauge")
+		fmt.Fprintf(w, "hpfserve_plan_cache_entries %d\n", st.Entries)
+		fmt.Fprintln(w, "# HELP hpfserve_plan_cache_bytes Estimated resident bytes of cached plans.")
+		fmt.Fprintln(w, "# TYPE hpfserve_plan_cache_bytes gauge")
+		fmt.Fprintf(w, "hpfserve_plan_cache_bytes %d\n", st.Bytes)
+	}
 
 	fmt.Fprintln(w, "# HELP hpfserve_model_seconds_total Modeled machine time accumulated across runs.")
 	fmt.Fprintln(w, "# TYPE hpfserve_model_seconds_total counter")

@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestPlanCacheWarmHit: two sequential submissions of the same matrix
+// must produce a registry hit, a warm second solve with zero modeled
+// setup, and bit-identical answers.
+func TestPlanCacheWarmHit(t *testing.T) {
+	s := New(Options{Workers: 1, MaxBatch: 1})
+	defer s.Drain(testCtx(t))
+	spec := JobSpec{Matrix: "laplace2d:12:12", NP: 4, Seed: 5}
+
+	run := func() JobView {
+		j, err := s.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Wait(testCtx(t), j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Fatalf("state %s (%s)", v.State, v.Error)
+		}
+		return v
+	}
+
+	cold := run()
+	if cold.Result.PlanCacheHit {
+		t.Fatal("first solve reported a plan-cache hit")
+	}
+	if cold.Result.SetupModelTime <= 0 {
+		t.Fatalf("cold setup %g, want > 0", cold.Result.SetupModelTime)
+	}
+
+	warm := run()
+	if !warm.Result.PlanCacheHit {
+		t.Fatal("second solve missed the plan cache")
+	}
+	if warm.Result.SetupModelTime != 0 {
+		t.Fatalf("warm setup %g, want exactly 0", warm.Result.SetupModelTime)
+	}
+	if len(cold.Result.X) != len(warm.Result.X) {
+		t.Fatal("solution length changed")
+	}
+	for i := range cold.Result.X {
+		if cold.Result.X[i] != warm.Result.X[i] {
+			t.Fatalf("x[%d] differs on cache hit: %v vs %v", i, cold.Result.X[i], warm.Result.X[i])
+		}
+	}
+
+	st := s.PlanCacheStats()
+	if st.Hits < 1 || st.Misses < 1 {
+		t.Fatalf("registry stats %+v, want >=1 hit and >=1 miss", st)
+	}
+}
+
+// TestPlanCacheHitAcrossMatrixMarketFormats: two uploads of the same
+// matrix with different entry order must share one cached plan (the
+// content hash is the canonical CSR digest, not the document bytes).
+func TestPlanCacheHitAcrossMatrixMarketFormats(t *testing.T) {
+	s := New(Options{Workers: 1, MaxBatch: 1})
+	defer s.Drain(testCtx(t))
+	doc1 := `%%MatrixMarket matrix coordinate real general
+3 3 5
+1 1 2.0
+2 2 2.0
+3 3 2.0
+1 2 -1.0
+2 1 -1.0
+`
+	doc2 := `%%MatrixMarket matrix coordinate real general
+3 3 5
+2 1 -1.0
+1 1 2.0
+3 3 2.0
+1 2 -1.0
+2 2 2.0
+`
+	for i, doc := range []string{doc1, doc2} {
+		j, err := s.Submit(JobSpec{MatrixMarket: doc, NP: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Wait(testCtx(t), j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Fatalf("upload %d: %s (%s)", i, v.State, v.Error)
+		}
+		if hit := v.Result.PlanCacheHit; hit != (i == 1) {
+			t.Fatalf("upload %d: plan_cache_hit=%v", i, hit)
+		}
+	}
+}
+
+// TestPlanCacheDisabled: PlanCacheBytes < 0 turns the registry off and
+// the service still solves correctly through the uncached path.
+func TestPlanCacheDisabled(t *testing.T) {
+	s := New(Options{Workers: 1, PlanCacheBytes: -1})
+	defer s.Drain(testCtx(t))
+	for i := 0; i < 2; i++ {
+		j, err := s.Submit(JobSpec{Matrix: "banded:64:3", NP: 2, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Wait(testCtx(t), j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone || !v.Result.Converged {
+			t.Fatalf("job %d: %s (%s)", i, v.State, v.Error)
+		}
+		if v.Result.PlanCacheHit {
+			t.Fatal("cache hit reported with cache disabled")
+		}
+	}
+	if st := s.PlanCacheStats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("disabled cache counted traffic: %+v", st)
+	}
+}
+
+// TestPlanCacheDistinctMatricesDistinctPlans: different content hashes
+// must not collide in the registry.
+func TestPlanCacheDistinctMatricesDistinctPlans(t *testing.T) {
+	s := New(Options{Workers: 1, MaxBatch: 1})
+	defer s.Drain(testCtx(t))
+	for _, m := range []string{"laplace2d:8:8", "laplace2d:8:9", "banded:64:2"} {
+		j, err := s.Submit(JobSpec{Matrix: m, NP: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Wait(testCtx(t), j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.State != StateDone {
+			t.Fatalf("%s: %s (%s)", m, v.State, v.Error)
+		}
+		if v.Result.PlanCacheHit {
+			t.Fatalf("%s: unexpected cache hit", m)
+		}
+	}
+	st := s.PlanCacheStats()
+	if st.Entries != 3 || st.Hits != 0 {
+		t.Fatalf("registry stats %+v, want 3 entries and 0 hits", st)
+	}
+}
+
+// TestDrainKeepsPlanCacheReadable: draining must not deadlock against
+// an in-flight registry run, and the batch that was already dispatched
+// still finishes through the cached-plan path.
+func TestDrainKeepsPlanCacheReadable(t *testing.T) {
+	started := make(chan []*Job, 1)
+	s := New(Options{
+		Workers:     1,
+		StartPaused: true,
+		BatchStarted: func(jobs []*Job) {
+			select {
+			case started <- jobs:
+			default:
+			}
+		},
+	})
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(JobSpec{Matrix: "laplace2d:10:10", NP: 2, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	s.Resume()
+	inflight := <-started
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range inflight {
+		if v, ok := s.View(j.ID); !ok || v.State != StateDone {
+			t.Fatalf("in-flight job %s did not finish across drain", j.ID)
+		}
+	}
+	_ = ids
+}

@@ -58,6 +58,12 @@ type Options struct {
 	// RetryAfter is the backpressure hint returned with 429s
 	// (default 1s).
 	RetryAfter time.Duration
+	// PlanCacheBytes budgets the Prepared-plan registry: batchable
+	// jobs are solved from content-addressed cached plans, so repeat
+	// traffic against a hot matrix skips partitioning and the
+	// inspector ghost exchange across batch windows. 0 selects
+	// hpfexec.DefaultRegistryBudget; negative disables the registry.
+	PlanCacheBytes int64
 	// StartPaused creates the scheduler with dispatch paused; Resume
 	// starts it. Tests and benchmarks use this to preload the queue so
 	// batch composition is deterministic.
@@ -91,6 +97,7 @@ func (o Options) withDefaults() Options {
 type Scheduler struct {
 	opts Options
 	met  *Metrics
+	reg  *hpfexec.Registry // nil when the plan cache is disabled
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -112,6 +119,10 @@ func New(opts Options) *Scheduler {
 		jobs:   map[string]*Job{},
 		paused: opts.StartPaused,
 	}
+	if s.opts.PlanCacheBytes >= 0 {
+		s.reg = hpfexec.NewRegistry(s.opts.PlanCacheBytes)
+		s.met.planStats = s.reg.Stats
+	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < s.opts.Workers; i++ {
 		s.wg.Add(1)
@@ -122,6 +133,24 @@ func New(opts Options) *Scheduler {
 
 // Metrics returns the live metric set.
 func (s *Scheduler) Metrics() *Metrics { return s.met }
+
+// PlanCacheStats snapshots the plan registry counters (zero value when
+// the cache is disabled).
+func (s *Scheduler) PlanCacheStats() hpfexec.RegistryStats {
+	if s.reg == nil {
+		return hpfexec.RegistryStats{}
+	}
+	return s.reg.Stats()
+}
+
+// Draining reports whether admission has closed — the readiness probe
+// (/readyz) turns 503 on this so load balancers stop routing before
+// the drain completes.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
 
 // RetryAfter is the backpressure hint for rejected submissions.
 func (s *Scheduler) RetryAfter() time.Duration { return s.opts.RetryAfter }
@@ -313,11 +342,18 @@ func (s *Scheduler) nextBatch() []*Job {
 // machineKey caches per-worker machines by shape.
 func machineKey(np int, topo string) string { return fmt.Sprintf("%d/%s", np, topo) }
 
-// runBatch executes one dispatch: assemble the matrix and plan once,
-// then either the coalesced multi-RHS batch solve or the job's solo
-// special path (fault injection, tracing, timeout, resilient mode).
+// runBatch executes one dispatch: either the coalesced multi-RHS
+// batch solve — through the Prepared-plan registry when enabled, so a
+// hot matrix skips partitioning and the inspector exchange — or the
+// job's solo special path (fault injection, tracing, timeout,
+// resilient mode).
 func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 	spec := batch[0].Spec
+
+	if spec.batchable() && s.reg != nil {
+		s.runBatchRegistry(batch)
+		return
+	}
 
 	A, err := spec.buildMatrix()
 	if err != nil {
@@ -335,23 +371,7 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		return
 	}
 
-	// Resolve each job's right-hand side; length mismatches fail only
-	// that job.
-	live := batch[:0:len(batch)]
-	rhs := make([][]float64, 0, len(batch))
-	opts := make([]core.Options, 0, len(batch))
-	for _, j := range batch {
-		b := j.Spec.RHS
-		if len(b) == 0 {
-			b = sparse.RandomVector(n, j.Spec.Seed)
-		} else if len(b) != n {
-			s.finishJob(j, nil, fmt.Errorf("rhs length %d != n=%d", len(b), n))
-			continue
-		}
-		live = append(live, j)
-		rhs = append(rhs, b)
-		opts = append(opts, core.Options{Tol: j.Spec.Tol, MaxIter: j.Spec.MaxIter})
-	}
+	live, rhs, opts := s.resolveRHS(batch, n)
 	if len(live) == 0 {
 		return
 	}
@@ -378,6 +398,100 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		s.failAll(live, err)
 		return
 	}
+	s.finishBatch(live, out, false)
+}
+
+// resolveRHS materializes each job's right-hand side; length
+// mismatches fail only that job.
+func (s *Scheduler) resolveRHS(batch []*Job, n int) (live []*Job, rhs [][]float64, opts []core.Options) {
+	live = batch[:0:len(batch)]
+	rhs = make([][]float64, 0, len(batch))
+	opts = make([]core.Options, 0, len(batch))
+	for _, j := range batch {
+		b := j.Spec.RHS
+		if len(b) == 0 {
+			b = sparse.RandomVector(n, j.Spec.Seed)
+		} else if len(b) != n {
+			s.finishJob(j, nil, fmt.Errorf("rhs length %d != n=%d", len(b), n))
+			continue
+		}
+		live = append(live, j)
+		rhs = append(rhs, b)
+		opts = append(opts, core.Options{Tol: j.Spec.Tol, MaxIter: j.Spec.MaxIter})
+	}
+	return live, rhs, opts
+}
+
+// runBatchRegistry is the content-addressed batch path: look the
+// matrix up by content hash, prepare (and cache) the plan on a miss,
+// then solve the batch from the cached Prepared handle under its entry
+// lock. A warm hit runs with zero modeled setup and answers
+// bit-identical to the cold path (hpfexec.TestWarmBatchBitIdentical).
+func (s *Scheduler) runBatchRegistry(batch []*Job) {
+	spec := batch[0].Spec
+
+	hash, A, err := spec.contentHashMatrix()
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+	entry, hit := s.reg.Get(spec.planKey(hash))
+	var pr *hpfexec.Prepared
+	if !hit {
+		if A == nil {
+			if A, err = spec.buildMatrix(); err != nil {
+				s.failAll(batch, fmt.Errorf("matrix: %w", err))
+				return
+			}
+		}
+		if A.NRows != A.NCols {
+			s.failAll(batch, fmt.Errorf("matrix: not square (%dx%d)", A.NRows, A.NCols))
+			return
+		}
+		plan, err := hpfexec.PlanForLayout(spec.Layout, spec.NP, A.NRows, A.NNZ())
+		if err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		topo, err := topology.ByName(spec.Topology)
+		if err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		// The plan owns a machine of its own: cached plans outlive any
+		// single worker, and the entry lock serializes runs on it.
+		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		if pr, err = hpfexec.Prepare(m, plan, A); err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		entry, _ = s.reg.Put(spec.planKey(hash), pr)
+	}
+	if entry != nil {
+		// Cached (or freshly cached): solve under the entry lock so
+		// concurrent workers never share the plan's machine. Oversized
+		// plans (entry == nil) run uncached from the local pr.
+		entry.Lock()
+		defer entry.Unlock()
+		pr = entry.Prepared()
+	}
+
+	live, rhs, opts := s.resolveRHS(batch, pr.N())
+	if len(live) == 0 {
+		return
+	}
+	warm := pr.Warm()
+	out, err := pr.SolveBatch(rhs, opts)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	s.finishBatch(live, out, warm)
+}
+
+// finishBatch records model-time metrics and finishes every job of a
+// completed batch solve.
+func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool) {
 	s.met.addModel(out.Run.ModelTime, out.Run.CommTime(), out.SetupModelTime)
 	for k, j := range live {
 		r := out.Results[k]
@@ -392,6 +506,7 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 			SetupModelTime: out.SetupModelTime,
 			CommTime:       out.Run.CommTime(),
 			BatchSize:      len(live),
+			PlanCacheHit:   warm,
 		}, nil)
 	}
 }

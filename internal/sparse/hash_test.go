@@ -1,0 +1,116 @@
+package sparse
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestContentHashDeterministic(t *testing.T) {
+	a := Laplace2D(8, 8)
+	b := Laplace2D(8, 8)
+	if ContentHash(a) != ContentHash(b) {
+		t.Fatal("identical matrices hash differently")
+	}
+	if len(ContentHash(a)) != 16 {
+		t.Fatalf("hash %q not 16 hex chars", ContentHash(a))
+	}
+}
+
+func TestContentHashSensitivity(t *testing.T) {
+	base := Laplace2D(8, 8)
+	h := ContentHash(base)
+
+	other := Laplace2D(8, 9)
+	if ContentHash(other) == h {
+		t.Fatal("different shape, same hash")
+	}
+
+	perturbed := Laplace2D(8, 8)
+	perturbed.Val[3] += 1e-12
+	if ContentHash(perturbed) == h {
+		t.Fatal("perturbed value, same hash")
+	}
+}
+
+// TestContentHashCanonical: the digest must see through incidental
+// representation differences — entry order and duplicates are erased
+// by CSR canonicalization, so a shuffled/duplicated COO assembly of
+// the same matrix hashes identically.
+func TestContentHashCanonical(t *testing.T) {
+	c1 := NewCOO(3, 3)
+	c1.Add(0, 0, 2)
+	c1.Add(1, 1, 2)
+	c1.Add(2, 2, 2)
+	c1.Add(0, 1, -1)
+	c1.Add(1, 0, -1)
+
+	c2 := NewCOO(3, 3)
+	c2.Add(1, 0, -1)
+	c2.Add(2, 2, 2)
+	c2.Add(0, 1, -0.5)
+	c2.Add(0, 1, -0.5) // duplicate accumulates to -1
+	c2.Add(1, 1, 2)
+	c2.Add(0, 0, 2)
+
+	if ContentHash(c1.ToCSR()) != ContentHash(c2.ToCSR()) {
+		t.Fatal("canonically equal matrices hash differently")
+	}
+}
+
+func TestContentHashNegativeZero(t *testing.T) {
+	a := NewCOO(1, 1)
+	a.Add(0, 0, 0.0)
+	b := NewCOO(1, 1)
+	negZero := 0.0
+	negZero = -negZero
+	b.Add(0, 0, negZero)
+	if ContentHash(a.ToCSR()) != ContentHash(b.ToCSR()) {
+		t.Fatal("-0 and +0 hash differently")
+	}
+}
+
+func TestHashGeneratorSpec(t *testing.T) {
+	if HashGeneratorSpec("laplace2d:16:16") != HashGeneratorSpec("  LAPLACE2D:16:16 ") {
+		t.Fatal("generator hash not canonicalized")
+	}
+	if HashGeneratorSpec("laplace2d:16:16") == HashGeneratorSpec("laplace2d:16:17") {
+		t.Fatal("different parameters, same hash")
+	}
+	// The generator namespace must not collide with uploaded-matrix
+	// digests even for the same matrix content.
+	A := Laplace2D(16, 16)
+	if HashGeneratorSpec("laplace2d:16:16") == ContentHash(A) {
+		t.Fatal("generator and content namespaces collide")
+	}
+}
+
+func TestContentHashMatrixMarketRoundTrip(t *testing.T) {
+	doc := `%%MatrixMarket matrix coordinate real general
+3 3 5
+1 1 2.0
+2 2 2.0
+3 3 2.0
+1 2 -1.0
+2 1 -1.0
+`
+	A, err := ReadMatrixMarket(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reordered entries, same matrix.
+	doc2 := `%%MatrixMarket matrix coordinate real general
+3 3 5
+2 1 -1.0
+1 2 -1.0
+3 3 2.0
+2 2 2.0
+1 1 2.0
+`
+	B, err := ReadMatrixMarket(strings.NewReader(doc2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ContentHash(A) != ContentHash(B) {
+		t.Fatal("reordered Matrix Market uploads hash differently")
+	}
+}

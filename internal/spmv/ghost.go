@@ -72,6 +72,16 @@ func (a *RowBlockCSRGhost) LocalNNZ() int { return a.nnzLocal }
 // NGhosts returns the number of remote p elements each Apply fetches.
 func (a *RowBlockCSRGhost) NGhosts() int { return a.sched.NGhosts() }
 
+// Rebind implements Rebindable: re-attach the operator and its
+// inspector schedule to the new run's processor handle. The schedule
+// itself is reused, so the warm run skips the inspector exchange
+// entirely — the cost plan caching exists to amortize.
+func (a *RowBlockCSRGhost) Rebind(p *comm.Proc) {
+	checkRebind("RowBlockCSRGhost", a.p, p)
+	a.p = p
+	a.sched.Rebind(p)
+}
+
 // Apply implements Operator: exchange the halo, then the local row
 // loop reading either the local block or the ghost buffer.
 func (a *RowBlockCSRGhost) Apply(x, y *darray.Vector) {
