@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke
+.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke
 
 all: check
 
@@ -31,18 +31,25 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/...
 
-check: build vet test race
+check: build vet test race e23-smoke
+
+# Quick pass over the communication-avoiding s-step path: the E23
+# tables exercise the matrix-powers kernel, the batched Gram recovery,
+# the stability guard and the cost-model selector end to end.
+e23-smoke:
+	$(GO) run ./cmd/cgbench -exp E23 -quick > /dev/null
 
 # Modeled-machine benchmarks (send path allocation counts included),
 # plus the E19 communication-avoidance, E20 resilience, E21 solver-
-# service and E22 cluster smoke runs with JSON snapshots for
-# regression diffing.
+# service, E22 cluster and E23 s-step smoke runs with JSON snapshots
+# for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
 	$(GO) run ./cmd/cgbench -exp E20 -quick -json BENCH_E20_quick.json
 	$(GO) run ./cmd/cgbench -exp E21 -quick -json BENCH_E21_quick.json
 	$(GO) run ./cmd/cgbench -exp E22 -quick -json BENCH_E22_quick.json
+	$(GO) run ./cmd/cgbench -exp E23 -quick -json BENCH_E23_quick.json
 
 # End-to-end service check: start hpfserve on a loopback port, submit a
 # job to it over HTTP, assert convergence.

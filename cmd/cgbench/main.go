@@ -32,6 +32,7 @@ func main() {
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		jsonPath = flag.String("json", "", "append per-experiment JSON snapshots to this file (BENCH_*.json)")
 		seed     = flag.Int64("seed", 1996, "matrix generator seed")
+		sstep    = flag.Int("sstep", 0, "restrict E23's s-step sweep to one blocking factor (0 = sweep 1,2,4,8)")
 		faultStr = flag.String("fault", "", `fault spec injected into every machine, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 	)
 	flag.Parse()
@@ -39,6 +40,7 @@ func main() {
 	cfg := bench.DefaultConfig()
 	cfg.Quick = *quick
 	cfg.Seed = *seed
+	cfg.SStep = *sstep
 	t, err := topology.ByName(*topo)
 	if err != nil {
 		fatal(err)

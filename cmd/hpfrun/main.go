@@ -68,6 +68,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort a deadlocked SPMD solve after this long (0 = wait forever)")
 		faultStr   = flag.String("fault", "", `fault spec, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 		resilient  = flag.Bool("resilient", false, "survive injected crashes via checkpoint/restart (SolveCGResilient)")
+		sstep      = flag.Int("sstep", -1, "s-step CG blocking factor: -1 = plain CG, 0 = auto from the cost model, s >= 1 fixed (CSR layouts)")
 		ckpt       = flag.Int("ckpt", 10, "checkpoint every N iterations (with -resilient)")
 		restarts   = flag.Int("restarts", 3, "max restart attempts after failures (with -resilient)")
 	)
@@ -149,6 +150,9 @@ func main() {
 		}
 		m.AttachInjector(inj)
 	}
+	if *sstep >= 0 && *resilient {
+		fatal(fmt.Errorf("-sstep does not combine with -resilient (checkpointing is per-iteration)"))
+	}
 	var res *hpfexec.Result
 	switch {
 	case *resilient:
@@ -163,6 +167,10 @@ func main() {
 		for _, pf := range rres.Failures {
 			fmt.Printf("          %v\n", pf)
 		}
+	case *sstep >= 0 && *timeout > 0:
+		res, err = hpfexec.SolveCGSStepTimeout(m, plan, A, b, core.Options{Tol: *tol}, *sstep, *timeout)
+	case *sstep >= 0:
+		res, err = hpfexec.SolveCGSStep(m, plan, A, b, core.Options{Tol: *tol}, *sstep)
 	case *timeout > 0:
 		res, err = hpfexec.SolveCGTimeout(m, plan, A, b, core.Options{Tol: *tol}, *timeout)
 	default:
@@ -170,6 +178,10 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *sstep >= 0 {
+		fmt.Printf("sstep:    s=%d (requested %d) guard_trips=%d\n",
+			res.Strategy.SStep, *sstep, res.Stats.Replacements)
 	}
 
 	fmt.Printf("matrix:   n=%d nnz=%d (%s)\n", n, nz, matrixName)

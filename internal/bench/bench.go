@@ -26,6 +26,9 @@ type Config struct {
 	Cost topology.CostParams
 	// Seed makes the synthetic matrices reproducible.
 	Seed int64
+	// SStep, when nonzero, restricts E23's blocking-factor sweep to
+	// that single factor (cgbench -sstep); 0 sweeps {1, 2, 4, 8}.
+	SStep int
 	// Tracer, when non-nil, is attached to every machine the
 	// experiment builds: each Machine.Run deposits a trace.Recorder on
 	// it, so any experiment gains event-level drill-down (see
@@ -95,6 +98,7 @@ var experiments = map[string]Runner{
 	"E20": E20,
 	"E21": E21,
 	"E22": E22,
+	"E23": E23,
 }
 
 // IDs lists the experiment identifiers in run order.

@@ -99,6 +99,10 @@ type Stats struct {
 	// clean start); Iterations stays the global count, so the attempt
 	// itself ran Iterations - StartIteration iterations.
 	StartIteration int
+	// SStep is the s-step blocking factor CGSStep ran with (1 = plain
+	// CG, 0 for the other solvers). When the stability guard tripped,
+	// Replacements is nonzero and the tail of the solve ran at s=1.
+	SStep int
 }
 
 // String summarises the stats.

@@ -248,7 +248,13 @@ func (pr *Prepared) SolveBatch(rhs [][]float64, opts []core.Options) (*BatchResu
 			xv.Fill(0)
 			opt := optFor(k)
 			opt.Work = work
-			st, err := core.CG(p, op, bv, xv, opt)
+			var st core.Stats
+			var err error
+			if pc.sstep >= 2 {
+				st, err = core.CGSStep(p, op, bv, xv, opt, pc.sstep)
+			} else {
+				st, err = core.CG(p, op, bv, xv, opt)
+			}
 			if err != nil {
 				if p.Rank() == 0 {
 					solveErr = fmt.Errorf("hpfexec: batch rhs %d: %w", k, err)

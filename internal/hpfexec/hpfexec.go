@@ -36,6 +36,10 @@ type Strategy struct {
 	Scenario string // "row-block CSR" or "col-block CSC"
 	Mode     string // "local", "serialized" or "private-merge"
 	Balanced bool   // partitioner-redistributed
+	// SStep is the communication-avoiding blocking factor the solves
+	// run with: 0 when the s-step path was not requested, 1 for plain
+	// CG through the s-step entry points, >= 2 for s-step blocks.
+	SStep int
 }
 
 // String renders the strategy for logs.
@@ -43,6 +47,9 @@ func (s Strategy) String() string {
 	out := s.Scenario + " / " + s.Mode
 	if s.Balanced {
 		out += " / balanced"
+	}
+	if s.SStep >= 2 {
+		out += fmt.Sprintf(" / s-step(s=%d)", s.SStep)
 	}
 	return out
 }
@@ -196,6 +203,9 @@ type preparedCG struct {
 	hasMerge bool
 	d        dist.Contiguous
 	strategy Strategy
+	// sstep is the resolved s-step blocking factor (0 = the s-step
+	// path was not requested; set by PrepareSStep/SolveCGSStep).
+	sstep int
 }
 
 // operator builds this rank's mat-vec operator inside the SPMD region.
@@ -205,6 +215,12 @@ type preparedCG struct {
 func (pc *preparedCG) operator(p *comm.Proc) (op spmv.Operator, ghost bool) {
 	switch pc.format {
 	case "csr":
+		// The s-step path always runs the matrix-powers executor: the
+		// widened ghost closure is what makes one exchange serve a whole
+		// basis block, so the broadcast fallback never applies.
+		if pc.sstep >= 2 {
+			return spmv.NewRowBlockCSRPowers(p, pc.A, pc.d, pc.sstep), true
+		}
 		// Inspector-based executor selection: build the ghost schedule
 		// once; if the largest halo stays below a quarter of the vector,
 		// the halo exchange beats the broadcast (E14/E15), otherwise fall
@@ -311,15 +327,23 @@ func analyzeCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR) (*preparedCG, err
 // right-hand side, so the Solve variants share everything but the Run
 // call and the solver.
 func prepareCG(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, solve solveFn) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, nil, err
+	}
+	return prepareCGFrom(m, pc, b, opt, solve)
+}
+
+// prepareCGFrom is prepareCG past the analysis step: it builds the
+// SPMD body and the finisher from an already-prepared plan, so the
+// s-step entry points can resolve the blocking factor in between.
+func prepareCGFrom(m *comm.Machine, pc *preparedCG, b []float64, opt core.Options, solve solveFn) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
 	if solve == nil {
 		solve = func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
 			return core.CG(p, op, bv, xv, opt)
 		}
 	}
-	pc, err := analyzeCG(m, plan, A)
-	if err != nil {
-		return nil, nil, err
-	}
+	A := pc.A
 	if len(b) != A.NRows {
 		return nil, nil, fmt.Errorf("hpfexec: rhs length %d != %d", len(b), A.NRows)
 	}

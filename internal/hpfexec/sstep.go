@@ -1,0 +1,214 @@
+// The s-step execution path: cost-model-driven selection of the
+// communication-avoiding blocking factor, and the entry points that
+// run core.CGSStep under a directive plan.
+//
+// The model prices one CG iteration at blocking factor s with the
+// paper's §4 machine constants (topology.CostParams): plain CG pays
+// two one-word allreduce rounds and one halo exchange per iteration,
+// while the s-step variant pays one m(m+1)/2-word Gram allreduce
+// (m = 2s+1) and one widened two-vector halo per s iterations, plus
+// the extra overlap flops of the matrix-powers closure and the basis
+// bookkeeping. The flop side comes from spmv.PowersStats — the exact
+// per-rank reachability closure the kernel itself sweeps — so the
+// selector and the executor price the same work.
+package hpfexec
+
+import (
+	"fmt"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/hpf"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+// MaxSStep bounds the blocking factor any entry point accepts. Beyond
+// this the monomial basis is numerically useless and the Gram round
+// ((2s+1)(2s+2)/2 words) stops being small.
+const MaxSStep = 16
+
+// SStepCandidates are the blocking factors the auto-selector prices.
+// 1 is plain CG; powers of two up to 8 cover the regime where the
+// monomial basis stays stable under the diagonal Gram scaling.
+var SStepCandidates = []int{1, 2, 4, 8}
+
+// SStepModel is the modeled per-iteration cost of running CG at one
+// blocking factor on a concrete machine/matrix/distribution triple.
+type SStepModel struct {
+	S int
+	// TimePerIter is the modeled makespan of one CG iteration: the
+	// s-step block cost divided by s.
+	TimePerIter float64
+	// RoundsPerIter is the allreduce rounds per iteration (2 for plain
+	// CG, 1/s for the batched Gram recovery).
+	RoundsPerIter float64
+	// BlockEntries is the max per-rank matrix entries one basis block
+	// sweeps (spmv.PowersStats); Ghosts the widened halo width.
+	BlockEntries int
+	Ghosts       int
+}
+
+// ModelSStep prices one CG iteration at blocking factor s >= 1 for
+// matrix A distributed by d over the machine's np ranks, using the
+// machine's topology and cost constants.
+func ModelSStep(m *comm.Machine, A *sparse.CSR, d dist.Contiguous, s int) SStepModel {
+	np := m.NP()
+	topo, c := m.Topology(), m.Cost()
+	nloc := 0
+	for r := 0; r < np; r++ {
+		if cnt := d.Count(r); cnt > nloc {
+			nloc = cnt
+		}
+	}
+	entries, ghosts := spmv.PowersStats(A, d, np, s)
+	mod := SStepModel{S: s, BlockEntries: entries, Ghosts: ghosts}
+	if s <= 1 {
+		// Plain CG: per iteration, one mat-vec (halo g1), two scalar
+		// allreduces, and the 5 length-n vector ops of Figure 2.
+		mod.RoundsPerIter = 2
+		flops := 2*float64(entries) + 10*float64(nloc)
+		mod.TimePerIter = 2*topology.AllreduceTime(topo, c, np, 1) +
+			haloTime(c, ghosts, 1) +
+			c.TFlop*flops
+		return mod
+	}
+	mcols := 2*s + 1
+	nG := mcols * (mcols + 1) / 2
+	mod.RoundsPerIter = 1 / float64(s)
+	// Per block: the widened two-seed halo, the basis sweep over the
+	// closure, the local Gram triangle, one nG-word allreduce, three
+	// recovery gemvs, and s inner steps on m-length coefficients.
+	blockFlops := 2*float64(entries) + // matrix-powers sweep
+		2*float64(nloc*nG) + // Gram triangle partials
+		6*float64(mcols*nloc) + // recover x, r, p
+		float64(s)*(4*float64(mcols*mcols)+12*float64(mcols)) // quads + coeff updates
+	blockTime := topology.AllreduceTime(topo, c, np, nG) +
+		haloTime(c, ghosts, 2) +
+		c.TFlop*blockFlops
+	mod.TimePerIter = blockTime / float64(s)
+	return mod
+}
+
+// haloTime prices one halo exchange of k vectors' ghost values: a
+// single nearest-neighbour message of k*8*ghosts bytes (ExchangeBlock
+// packs the vectors into one message per neighbour pair).
+func haloTime(c topology.CostParams, ghosts, k int) float64 {
+	if ghosts == 0 {
+		return 0
+	}
+	return c.PtToPtTime(1, k*8*ghosts)
+}
+
+// ChooseSStep prices every candidate blocking factor and returns the
+// cheapest (smallest s wins ties, so the selector never buys stability
+// risk for free). The full frontier comes back for reporting.
+func ChooseSStep(m *comm.Machine, A *sparse.CSR, d dist.Contiguous) (int, []SStepModel) {
+	models := make([]SStepModel, 0, len(SStepCandidates))
+	best := 1
+	var bestT float64
+	for _, s := range SStepCandidates {
+		mod := ModelSStep(m, A, d, s)
+		models = append(models, mod)
+		if len(models) == 1 || mod.TimePerIter < bestT {
+			best, bestT = s, mod.TimePerIter
+		}
+	}
+	return best, models
+}
+
+// resolveSStep turns a requested blocking factor (0 = auto) into the
+// concrete s the prepared plan will run, against the already-analyzed
+// strategy. The column-block CSC scenarios have no matrix-powers form,
+// so auto degrades to plain CG there and a fixed s >= 2 is an error.
+func resolveSStep(m *comm.Machine, pc *preparedCG, s int) (int, error) {
+	if s < 0 || s > MaxSStep {
+		return 0, fmt.Errorf("hpfexec: s-step factor %d out of range [0, %d]", s, MaxSStep)
+	}
+	if pc.format != "csr" {
+		if s >= 2 {
+			return 0, fmt.Errorf("hpfexec: s-step CG needs the row-block CSR scenario, plan declares %s", pc.format)
+		}
+		return 1, nil
+	}
+	if s == 0 {
+		chosen, _ := ChooseSStep(m, pc.A, pc.d)
+		return chosen, nil
+	}
+	return s, nil
+}
+
+// PrepareSStep is Prepare with an s-step blocking factor: s = 0 lets
+// the cost model choose per the machine's topology constants, s = 1
+// forces plain CG, s >= 2 fixes the factor. The widened matrix-powers
+// inspector schedule is built on the first batch run and cached in the
+// handle like every other operator, so registry hits skip the s-level
+// closure inspection too.
+func PrepareSStep(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, s int) (*Prepared, error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, err
+	}
+	if s, err = resolveSStep(m, pc, s); err != nil {
+		return nil, err
+	}
+	pc.sstep = s
+	pc.strategy.SStep = s
+	return &Prepared{m: m, A: A, pc: pc, strategy: pc.strategy, ops: make([]spmv.Operator, m.NP())}, nil
+}
+
+// SStep returns the blocking factor the handle's solves run with
+// (1 = plain CG; 0 on handles made by plain Prepare).
+func (pr *Prepared) SStep() int { return pr.pc.sstep }
+
+// SolveCGSStep executes the directive-driven CG with the s-step
+// communication-avoiding solver (core.CGSStep): s = 0 auto-selects
+// from the cost model, s = 1 is bit-identical to SolveCG, s >= 2 runs
+// s iterations per allreduce round with the stability guard armed.
+func SolveCGSStep(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, s int) (*Result, error) {
+	fn, finish, err := prepareCGSStep(m, plan, A, b, opt, s)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.RunChecked(fn)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
+}
+
+// SolveCGSStepTimeout is SolveCGSStep under the same deadlock watchdog
+// as SolveCGTimeout.
+func SolveCGSStepTimeout(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, s int, d time.Duration) (*Result, error) {
+	fn, finish, err := prepareCGSStep(m, plan, A, b, opt, s)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.RunTimeout(fn, d)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
+}
+
+// prepareCGSStep resolves the blocking factor and builds the SPMD body
+// running core.CGSStep under it.
+func prepareCGSStep(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, s int) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s, err = resolveSStep(m, pc, s); err != nil {
+		return nil, nil, err
+	}
+	pc.sstep = s
+	pc.strategy.SStep = s
+	return prepareCGFrom(m, pc, b, opt,
+		func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
+			return core.CGSStep(p, op, bv, xv, opt, pc.sstep)
+		})
+}

@@ -44,6 +44,10 @@ type Schedule struct {
 	// ghosts is the reusable receive buffer Exchange returns, so the
 	// executor steady state allocates nothing.
 	ghosts []float64
+	// blockGhosts are the reusable receive buffers ExchangeBlock
+	// returns, one per exchanged vector; grown on first use and reused
+	// afterwards so the block executor steady state allocates nothing.
+	blockGhosts [][]float64
 }
 
 // Build runs the inspector: needs lists the global indices the caller
@@ -148,7 +152,13 @@ func (s *Schedule) GhostSlot(g int) int {
 
 // tagGhost is the point-to-point tag of executor traffic. Messages
 // between a pair are FIFO, so repeated Exchanges stay matched.
-const tagGhost = 201
+// tagGhostBlock carries the packed multi-vector exchange of
+// ExchangeBlock under its own tag so single and block executors can
+// interleave without cross-matching.
+const (
+	tagGhost      = 201
+	tagGhostBlock = 202
+)
 
 // Exchange runs the executor: given the local block of the distributed
 // vector, it sends the locally-owned elements other processors need
@@ -186,4 +196,54 @@ func (s *Schedule) Exchange(local []float64) []float64 {
 		s.p.PutBuf(part)
 	}
 	return s.ghosts
+}
+
+// ExchangeBlock is the executor for a block of vectors sharing this
+// schedule: the halos of all k vectors travel in ONE message per
+// neighbour pair (k·count packed words, vector-major) instead of k
+// messages, so a matrix-powers kernel that widens the schedule to the
+// s-level reachability closure pays a single startup per neighbour per
+// basis block. Returned slice v holds vector v's ghosts, indexed by
+// GhostSlot; the buffers are the schedule's own, valid until the next
+// ExchangeBlock with the same or larger k. Collective, like Exchange;
+// sends draw on the processor's buffer pool, so after the first call
+// (which sizes the reusable ghost buffers) the steady state allocates
+// nothing.
+func (s *Schedule) ExchangeBlock(locals [][]float64) [][]float64 {
+	k := len(locals)
+	for len(s.blockGhosts) < k {
+		s.blockGhosts = append(s.blockGhosts, make([]float64, s.nGhost))
+	}
+	np := s.p.NP()
+	r := s.p.Rank()
+	for dst, offs := range s.sendTo {
+		if len(offs) == 0 {
+			continue
+		}
+		buf := s.p.GetBuf(k * len(offs))
+		pos := 0
+		for _, lv := range locals {
+			for _, off := range offs {
+				buf[pos] = lv[off]
+				pos++
+			}
+		}
+		s.p.SendFloats(dst, tagGhostBlock, buf)
+	}
+	for off := 1; off < np; off++ {
+		src := (r - off + np) % np
+		cnt := s.recvCount[src]
+		if cnt == 0 {
+			continue
+		}
+		part := s.p.RecvFloats(src, tagGhostBlock)
+		if len(part) != k*cnt {
+			panic(fmt.Sprintf("inspector: expected %d block ghosts from %d, got %d", k*cnt, src, len(part)))
+		}
+		for v := 0; v < k; v++ {
+			copy(s.blockGhosts[v][s.recvStart[src]:s.recvStart[src+1]], part[v*cnt:(v+1)*cnt])
+		}
+		s.p.PutBuf(part)
+	}
+	return s.blockGhosts[:k]
 }

@@ -31,6 +31,12 @@ type JobSpec struct {
 	Layout string `json:"layout,omitempty"`
 	// Method is the solver; only "cg" (the default) is served.
 	Method string `json:"method,omitempty"`
+	// SStep is the communication-avoiding blocking factor: 0 (or
+	// absent) lets the cost model choose per machine shape, 1 forces
+	// plain CG, 2..hpfexec.MaxSStep fixes the factor (CSR layouts
+	// only). Resilient jobs always run plain CG — the checkpoint
+	// machinery is per-iteration.
+	SStep int `json:"sstep,omitempty"`
 	// NP is the virtual processor count (default 4).
 	NP int `json:"np,omitempty"`
 	// Topology is "hypercube" (default), "ring", "mesh2d" or "full".
@@ -78,6 +84,9 @@ func (sp *JobSpec) normalize() {
 	if sp.Seed == 0 {
 		sp.Seed = 42
 	}
+	if sp.Resilient {
+		sp.SStep = 1
+	}
 	sp.Matrix = strings.TrimSpace(sp.Matrix)
 }
 
@@ -102,6 +111,12 @@ func (sp *JobSpec) validate(maxNP int) error {
 	}
 	if sp.NP < 1 || sp.NP > maxNP {
 		return fmt.Errorf("serve: np %d outside [1,%d]", sp.NP, maxNP)
+	}
+	if sp.SStep < 0 || sp.SStep > hpfexec.MaxSStep {
+		return fmt.Errorf("serve: sstep %d outside [0,%d]", sp.SStep, hpfexec.MaxSStep)
+	}
+	if sp.SStep >= 2 && strings.HasPrefix(sp.Layout, "csc") {
+		return fmt.Errorf("serve: sstep %d needs a CSR layout, got %q", sp.SStep, sp.Layout)
 	}
 	if _, err := topology.ByName(sp.Topology); err != nil {
 		return err
@@ -135,6 +150,9 @@ type batchKey struct {
 	layout   string
 	np       int
 	topology string
+	// sstep is the requested blocking factor: jobs asking for different
+	// factors run different solvers and must not share a dispatch.
+	sstep int
 }
 
 func (sp *JobSpec) key() batchKey {
@@ -144,7 +162,7 @@ func (sp *JobSpec) key() batchKey {
 		h.Write([]byte(sp.MatrixMarket))
 		mat = fmt.Sprintf("mm:%016x", h.Sum64())
 	}
-	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology}
+	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology, sstep: sp.SStep}
 }
 
 // ContentHash returns the canonical content digest of the job's
@@ -175,9 +193,11 @@ func (sp *JobSpec) contentHashMatrix() (string, *sparse.CSR, error) {
 }
 
 // planKey is the registry key: the matrix content plus everything that
-// shapes the prepared plan (layout, machine size, topology).
+// shapes the prepared plan (layout, machine size, topology, and the
+// requested s-step factor — a widened powers schedule is a different
+// cached artifact than the single-level ghost schedule).
 func (sp *JobSpec) planKey(hash string) string {
-	return fmt.Sprintf("%s|%s|%d|%s", hash, sp.Layout, sp.NP, sp.Topology)
+	return fmt.Sprintf("%s|%s|%d|%s|s%d", hash, sp.Layout, sp.NP, sp.Topology, sp.SStep)
 }
 
 // buildMatrix assembles the job's matrix.
@@ -244,6 +264,14 @@ type JobResult struct {
 	// PlanCacheHit reports that the solve ran from a warm registry
 	// plan: no partitioning, no inspector exchange, SetupModelTime 0.
 	PlanCacheHit bool `json:"plan_cache_hit,omitempty"`
+	// SStep is the blocking factor the solve actually ran with (the
+	// cost model's choice when the request left it at 0); 1 is plain
+	// CG. Replacements counts explicit residual replacements: for
+	// s-step runs a nonzero value means the stability guard tripped
+	// and the tail of the solve fell back to plain CG; resilient runs
+	// count their restore-time replacements here.
+	SStep        int `json:"sstep,omitempty"`
+	Replacements int `json:"replacements,omitempty"`
 	// Attempts/Failures report resilient-mode recovery (0 otherwise).
 	Attempts int `json:"attempts,omitempty"`
 	Failures int `json:"failures,omitempty"`

@@ -393,7 +393,12 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
 		machines[key] = m
 	}
-	out, err := hpfexec.SolveCGBatch(m, plan, A, rhs, opts)
+	pr, err := hpfexec.PrepareSStep(m, plan, A, spec.SStep)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	out, err := pr.SolveBatch(rhs, opts)
 	if err != nil {
 		s.failAll(live, err)
 		return
@@ -459,9 +464,11 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 			return
 		}
 		// The plan owns a machine of its own: cached plans outlive any
-		// single worker, and the entry lock serializes runs on it.
+		// single worker, and the entry lock serializes runs on it. The
+		// s-step factor resolves here (cost model on 0), so the cached
+		// plan carries the widened powers schedule it implies.
 		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
-		if pr, err = hpfexec.Prepare(m, plan, A); err != nil {
+		if pr, err = hpfexec.PrepareSStep(m, plan, A, spec.SStep); err != nil {
 			s.failAll(batch, err)
 			return
 		}
@@ -501,6 +508,8 @@ func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool
 			Iterations:     r.Stats.Iterations,
 			Residual:       r.Stats.Residual,
 			Strategy:       r.Strategy.String(),
+			SStep:          r.Strategy.SStep,
+			Replacements:   r.Stats.Replacements,
 			ModelTime:      out.Run.ModelTime,
 			SolveModelTime: out.SolveModelTime[k],
 			SetupModelTime: out.SetupModelTime,

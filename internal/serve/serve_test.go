@@ -61,7 +61,9 @@ func directSolve(t *testing.T, spec JobSpec) *hpfexec.Result {
 func TestJobBitIdenticalToDirect(t *testing.T) {
 	s := New(Options{Workers: 1})
 	defer s.Drain(testCtx(t))
-	spec := JobSpec{Matrix: "banded:128:4", NP: 4, Seed: 11}
+	// SStep pinned to 1: the reference is the plain-CG SolveCG, and the
+	// service default (0) would auto-select an s-step factor.
+	spec := JobSpec{Matrix: "banded:128:4", NP: 4, Seed: 11, SStep: 1}
 	j, err := s.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +102,7 @@ func TestBatchCoalescingBitIdentical(t *testing.T) {
 	ids := make([]string, njobs)
 	specs := make([]JobSpec, njobs)
 	for k := 0; k < njobs; k++ {
-		specs[k] = JobSpec{Matrix: "laplace2d:12:12", NP: 4, Seed: int64(k + 1)}
+		specs[k] = JobSpec{Matrix: "laplace2d:12:12", NP: 4, Seed: int64(k + 1), SStep: 1}
 		j, err := s.Submit(specs[k])
 		if err != nil {
 			t.Fatal(err)
@@ -358,7 +360,7 @@ func TestHTTPEndToEnd(t *testing.T) {
 	ts := httptest.NewServer(NewHandler(s))
 	defer ts.Close()
 
-	spec := JobSpec{Matrix: "banded:96:3", NP: 4, Seed: 5}
+	spec := JobSpec{Matrix: "banded:96:3", NP: 4, Seed: 5, SStep: 1}
 	resp, sr := postJob(t, ts, spec)
 	if resp.StatusCode != http.StatusAccepted || sr.ID == "" {
 		t.Fatalf("submit: %d %+v", resp.StatusCode, sr)

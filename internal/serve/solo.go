@@ -62,7 +62,7 @@ func (s *Scheduler) runSolo(j *Job, plan *hpf.Plan, A *sparse.CSR, b []float64, 
 		res.ModelTime = rres.TotalModelTime
 		fillResult(res, &rres.Result)
 	case spec.TimeoutMS > 0:
-		r, err := hpfexec.SolveCGTimeout(m, plan, A, b, opt, time.Duration(spec.TimeoutMS)*time.Millisecond)
+		r, err := hpfexec.SolveCGSStepTimeout(m, plan, A, b, opt, spec.SStep, time.Duration(spec.TimeoutMS)*time.Millisecond)
 		if err != nil {
 			solveErr = err
 			break
@@ -70,7 +70,7 @@ func (s *Scheduler) runSolo(j *Job, plan *hpf.Plan, A *sparse.CSR, b []float64, 
 		res.ModelTime = r.Run.ModelTime
 		fillResult(res, r)
 	default:
-		r, err := hpfexec.SolveCG(m, plan, A, b, opt)
+		r, err := hpfexec.SolveCGSStep(m, plan, A, b, opt, spec.SStep)
 		if err != nil {
 			solveErr = err
 			break
@@ -106,6 +106,11 @@ func fillResult(res *JobResult, r *hpfexec.Result) {
 	res.Residual = r.Stats.Residual
 	res.Strategy = r.Strategy.String()
 	res.CommTime = r.Run.CommTime()
+	res.SStep = r.Strategy.SStep
+	if res.SStep == 0 {
+		res.SStep = 1 // plain-CG paths (resilient) never engage s-step
+	}
+	res.Replacements = r.Stats.Replacements
 	if res.ModelTime == 0 {
 		res.ModelTime = r.Run.ModelTime
 	}

@@ -1,0 +1,352 @@
+// The matrix-powers kernel: the communication-avoiding step beyond the
+// single-level inspector-executor of ghost.go. An s-step Krylov solver
+// needs the whole basis block {A·v, A²·v, …, Aˢ·v} per outer iteration;
+// computing it with s ordinary Applies pays s ghost exchanges (s
+// per-neighbour message startups). The kernel here instead *widens* the
+// inspector: at construction it walks the s-level reachability closure
+// of this rank's row partition — ring 0 is the local rows, ring t the
+// column indices first reachable in t hops — stores replicated matrix
+// rows for rings 0..s-1 (the PA1 overlap of Demmel/Hoemmen/Mohiyuddin),
+// and builds ONE inspector.Schedule over the ring 1..s indices. Every
+// basis block then needs a single (wider) halo exchange; the redundant
+// flops on the overlap rows are the latency-for-flops trade the s-step
+// cost model (hpfexec.ModelSStep) weighs against saved allreduce and
+// exchange startups.
+//
+// Level j of a depth-dep basis is computed only on the row prefix
+// rings 0..dep-j (the rows whose level-j values later levels still
+// need), so the per-level sweep shrinks back to exactly the local rows
+// at the top level; summation per row is in the original CSR column
+// order, which keeps every produced vector bit-identical to the one
+// j repeated RowBlockCSRGhost.Applies would yield.
+package spmv
+
+import (
+	"fmt"
+	"sort"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/inspector"
+	"hpfcg/internal/sparse"
+)
+
+// PowersOperator is implemented by operators that can compute blocks of
+// Krylov basis vectors from one widened ghost exchange — the
+// matrix-powers kernel contract core.CGSStep consumes.
+type PowersOperator interface {
+	Operator
+	// MaxDepth is the closure depth the operator was inspected for; a
+	// basis of any depth up to it can be produced per block.
+	MaxDepth() int
+	// ApplyPowersBlock fills outs[v][j] = A^(j+1) · seeds[v] for every
+	// seed, with len(outs[v]) in [1, MaxDepth()], using a single halo
+	// exchange (all seeds' ghosts packed into one message round) for
+	// the whole block.
+	ApplyPowersBlock(seeds []*darray.Vector, outs [][]*darray.Vector)
+}
+
+// RowBlockCSRPowers is the row-block CSR matrix-powers kernel. It is a
+// drop-in Operator (Apply/ApplyDot are bit-identical in values to
+// RowBlockCSRGhost, over the widened schedule) that additionally
+// serves whole basis blocks through ApplyPowersBlock.
+type RowBlockCSRPowers struct {
+	p     *comm.Proc
+	d     dist.Contiguous
+	depth int
+	sched *inspector.Schedule
+
+	nLocal int // local rows (== ring 0 == value slots 0..nLocal-1)
+	nSlots int // nLocal + widened ghost count
+
+	// The replicated extended rows, ring-ordered: entry slots reference
+	// the value-slot space (locals first, then ghost slots).
+	rowSlot []int // extended row -> value slot of its global index
+	rowPtr  []int
+	colSlot []int
+	val     []float64
+	// ringEnd[t] = extended rows in rings 0..t (t = 0..depth-1);
+	// nnzAt[t] the stored entries among them. Level j of a depth-dep
+	// basis sweeps the prefix ringEnd[dep-j].
+	ringEnd []int
+	nnzAt   []int
+	// cumEntries[dep] = total entries swept producing a depth-dep basis
+	// (sum of the per-level prefixes) — the flop-charge table.
+	cumEntries []int
+
+	// Ping-pong level buffers; steady state allocates nothing.
+	work0, work1 []float64
+	seedLocals   [][]float64 // reusable ExchangeBlock argument
+
+	n, nnz, nnzLocal int
+}
+
+// powersClosure walks the depth-level reachability closure of rank's
+// row partition in A: extRows lists rings 0..depth-1 in ring order
+// (ring 0 = the local rows, each later ring sorted by global index),
+// ringEnd[t] the prefix length of rings 0..t, and ghosts every index of
+// rings 1..depth — the widened halo one exchange must fetch. Pure and
+// communication-free: every rank holds the full CSR at construction, so
+// the closure inspection is local (the collective part is only the
+// inspector.Build request exchange).
+func powersClosure(A *sparse.CSR, d dist.Contiguous, rank, depth int) (extRows, ringEnd, ghosts []int) {
+	lo := d.Lo(rank)
+	cnt := d.Count(rank)
+	seen := make([]bool, A.NRows)
+	extRows = make([]int, 0, cnt)
+	for i := lo; i < lo+cnt; i++ {
+		seen[i] = true
+		extRows = append(extRows, i)
+	}
+	ringEnd = make([]int, depth)
+	ringEnd[0] = cnt
+	frontier := extRows
+	for t := 1; t <= depth; t++ {
+		var next []int
+		for _, i := range frontier {
+			for k := A.RowPtr[i]; k < A.RowPtr[i+1]; k++ {
+				if c := A.Col[k]; !seen[c] {
+					seen[c] = true
+					next = append(next, c)
+				}
+			}
+		}
+		sort.Ints(next)
+		ghosts = append(ghosts, next...)
+		if t < depth {
+			extRows = append(extRows, next...)
+			ringEnd[t] = len(extRows)
+		}
+		frontier = next
+	}
+	return extRows, ringEnd, ghosts
+}
+
+// NewRowBlockCSRPowers slices the row strip, inspects the depth-level
+// closure and runs the widened inspector (collective: every processor
+// must construct it together, like NewRowBlockCSRGhost).
+func NewRowBlockCSRPowers(p *comm.Proc, A *sparse.CSR, d dist.Contiguous, depth int) *RowBlockCSRPowers {
+	if depth < 1 {
+		panic(fmt.Sprintf("spmv: powers depth %d < 1", depth))
+	}
+	r := p.Rank()
+	lo := d.Lo(r)
+	cnt := d.Count(r)
+	extRows, ringEnd, ghosts := powersClosure(A, d, r, depth)
+	sched := inspector.Build(p, d, ghosts)
+
+	a := &RowBlockCSRPowers{
+		p:       p,
+		d:       d,
+		depth:   depth,
+		sched:   sched,
+		nLocal:  cnt,
+		nSlots:  cnt + sched.NGhosts(),
+		rowSlot: make([]int, len(extRows)),
+		rowPtr:  make([]int, len(extRows)+1),
+		ringEnd: ringEnd,
+		nnzAt:   make([]int, depth),
+		n:       A.NRows,
+		nnz:     A.NNZ(),
+	}
+	slot := func(g int) int {
+		if g >= lo && g < lo+cnt {
+			return g - lo
+		}
+		return cnt + sched.GhostSlot(g)
+	}
+	for ei, i := range extRows {
+		a.rowSlot[ei] = slot(i)
+		for k := A.RowPtr[i]; k < A.RowPtr[i+1]; k++ {
+			a.colSlot = append(a.colSlot, slot(A.Col[k]))
+			a.val = append(a.val, A.Val[k])
+		}
+		a.rowPtr[ei+1] = len(a.val)
+	}
+	a.nnzLocal = a.rowPtr[cnt]
+	for t := 0; t < depth; t++ {
+		a.nnzAt[t] = a.rowPtr[a.ringEnd[t]]
+	}
+	// cumEntries[dep] = sum_{j=1..dep} nnzAt[dep-j] = entries swept for
+	// one depth-dep basis.
+	a.cumEntries = make([]int, depth+1)
+	for dep := 1; dep <= depth; dep++ {
+		sum := 0
+		for t := 0; t < dep; t++ {
+			sum += a.nnzAt[t]
+		}
+		a.cumEntries[dep] = sum
+	}
+	a.work0 = make([]float64, a.nSlots)
+	a.work1 = make([]float64, a.nSlots)
+	return a
+}
+
+// N implements Operator.
+func (a *RowBlockCSRPowers) N() int { return a.n }
+
+// NNZ implements Operator.
+func (a *RowBlockCSRPowers) NNZ() int { return a.nnz }
+
+// LocalNNZ returns this processor's own (ring 0) stored entries.
+func (a *RowBlockCSRPowers) LocalNNZ() int { return a.nnzLocal }
+
+// OverlapNNZ returns the replicated entries of rings 1..depth-1 — the
+// redundancy the latency saving is bought with.
+func (a *RowBlockCSRPowers) OverlapNNZ() int { return len(a.val) - a.nnzLocal }
+
+// NGhosts returns the widened halo size (indices of rings 1..depth).
+func (a *RowBlockCSRPowers) NGhosts() int { return a.sched.NGhosts() }
+
+// MaxDepth implements PowersOperator.
+func (a *RowBlockCSRPowers) MaxDepth() int { return a.depth }
+
+// Rebind implements Rebindable: re-attach the kernel and its widened
+// inspector schedule to a new run's processor handle, so a cached
+// s-step plan (hpfexec.Registry) skips the closure inspection and the
+// request exchange entirely on warm traffic.
+func (a *RowBlockCSRPowers) Rebind(p *comm.Proc) {
+	checkRebind("RowBlockCSRPowers", a.p, p)
+	a.p = p
+	a.sched.Rebind(p)
+}
+
+// Apply implements Operator: one (widened) halo exchange, then the
+// local row loop. Values are bit-identical to RowBlockCSRGhost.Apply —
+// the summation runs over the same entries in the same CSR order —
+// only the modeled exchange is wider.
+func (a *RowBlockCSRPowers) Apply(x, y *darray.Vector) {
+	checkAligned("RowBlockCSRPowers.Apply", a.d, x, y)
+	xl := x.Local()
+	ghosts := a.sched.Exchange(xl)
+	yl := y.Local()
+	for i := range yl {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			c := a.colSlot[k]
+			var xv float64
+			if c < a.nLocal {
+				xv = xl[c]
+			} else {
+				xv = ghosts[c-a.nLocal]
+			}
+			s += a.val[k] * xv
+		}
+		yl[i] = s
+	}
+	a.p.Compute(2 * a.nnzLocal)
+}
+
+// ApplyDot implements FusedOperator (see RowBlockCSR.ApplyDot for the
+// bit-identity argument).
+func (a *RowBlockCSRPowers) ApplyDot(x, y *darray.Vector) float64 {
+	checkAligned("RowBlockCSRPowers.ApplyDot", a.d, x, y)
+	xl := x.Local()
+	ghosts := a.sched.Exchange(xl)
+	yl := y.Local()
+	dot := 0.0
+	for i := range yl {
+		s := 0.0
+		for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+			c := a.colSlot[k]
+			var xv float64
+			if c < a.nLocal {
+				xv = xl[c]
+			} else {
+				xv = ghosts[c-a.nLocal]
+			}
+			s += a.val[k] * xv
+		}
+		yl[i] = s
+		dot += xl[i] * s
+	}
+	a.p.Compute(2*a.nnzLocal + 2*len(yl))
+	return dot
+}
+
+// ApplyPowersBlock implements PowersOperator: all seeds' halos travel
+// in one packed exchange, then each basis chain is evaluated level by
+// level over the shrinking ring prefixes. Steady state allocates
+// nothing (the ping-pong buffers and the schedule's block ghost
+// buffers are reused).
+func (a *RowBlockCSRPowers) ApplyPowersBlock(seeds []*darray.Vector, outs [][]*darray.Vector) {
+	if len(seeds) != len(outs) {
+		panic(fmt.Sprintf("spmv: %d seeds for %d output chains", len(seeds), len(outs)))
+	}
+	for v, chain := range outs {
+		if len(chain) < 1 || len(chain) > a.depth {
+			panic(fmt.Sprintf("spmv: basis depth %d outside [1,%d]", len(chain), a.depth))
+		}
+		checkAligned("RowBlockCSRPowers.ApplyPowersBlock", a.d, seeds[v], chain[len(chain)-1])
+	}
+	for len(a.seedLocals) < len(seeds) {
+		a.seedLocals = append(a.seedLocals, nil)
+	}
+	locals := a.seedLocals[:len(seeds)]
+	for v, sv := range seeds {
+		locals[v] = sv.Local()
+	}
+	ghosts := a.sched.ExchangeBlock(locals)
+	entries := 0
+	for v := range seeds {
+		dep := len(outs[v])
+		// Level 0: the seed's values over every slot of the closure.
+		prev := a.work0
+		copy(prev[:a.nLocal], locals[v])
+		copy(prev[a.nLocal:a.nSlots], ghosts[v])
+		cur := a.work1
+		for j := 1; j <= dep; j++ {
+			rows := a.ringEnd[dep-j]
+			for i := 0; i < rows; i++ {
+				s := 0.0
+				for k := a.rowPtr[i]; k < a.rowPtr[i+1]; k++ {
+					s += a.val[k] * prev[a.colSlot[k]]
+				}
+				cur[a.rowSlot[i]] = s
+			}
+			copy(outs[v][j-1].Local(), cur[:a.nLocal])
+			prev, cur = cur, prev
+		}
+		entries += a.cumEntries[dep]
+	}
+	a.p.Compute(2 * entries)
+}
+
+// PowersStats reports, without any communication, the per-rank maxima
+// a depth-deep kernel under d would incur producing the CG s-step basis
+// pair (one depth-deep chain for p, one (depth-1)-deep chain for r) per
+// block: maxBlockEntries is the largest per-rank count of stored
+// entries swept (local + replicated overlap, all levels), maxGhosts the
+// widest per-rank ghost set of the closure. These are the exact
+// flops-vs-rounds inputs of the s-selection cost model — the same
+// numbers the kernel itself will charge, obtained by running only the
+// closure inspection.
+func PowersStats(A *sparse.CSR, d dist.Contiguous, np, depth int) (maxBlockEntries, maxGhosts int) {
+	for r := 0; r < np; r++ {
+		extRows, ringEnd, ghosts := powersClosure(A, d, r, depth)
+		rowNNZ := func(i int) int { return A.RowPtr[extRows[i]+1] - A.RowPtr[extRows[i]] }
+		nnzAt := make([]int, depth)
+		pos, sum := 0, 0
+		for t := 0; t < depth; t++ {
+			for ; pos < ringEnd[t]; pos++ {
+				sum += rowNNZ(pos)
+			}
+			nnzAt[t] = sum
+		}
+		entries := 0
+		for t := 0; t < depth; t++ {
+			entries += nnzAt[t] // p-chain level depth-t
+			if t < depth-1 {
+				entries += nnzAt[t] // r-chain level depth-1-t
+			}
+		}
+		if entries > maxBlockEntries {
+			maxBlockEntries = entries
+		}
+		if len(ghosts) > maxGhosts {
+			maxGhosts = len(ghosts)
+		}
+	}
+	return maxBlockEntries, maxGhosts
+}
