@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke
+.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke mg-smoke
 
 all: check
 
@@ -27,11 +27,13 @@ test:
 # solver service multiplexes jobs across worker goroutines and batches,
 # so internal/serve joins too. The cluster router proxies concurrent
 # submissions, scatters sweeps and merges metrics scrapes across
-# goroutines, so internal/cluster joins the pass.
+# goroutines, so internal/cluster joins the pass. The multigrid
+# V-cycle shares smoother scratch and inspector ghost buffers across
+# all ranks of a run, so internal/mg joins the pass.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/... ./internal/mg/...
 
-check: build vet test race e23-smoke
+check: build vet test race e23-smoke mg-smoke
 
 # Quick pass over the communication-avoiding s-step path: the E23
 # tables exercise the matrix-powers kernel, the batched Gram recovery,
@@ -39,10 +41,17 @@ check: build vet test race e23-smoke
 e23-smoke:
 	$(GO) run ./cmd/cgbench -exp E23 -quick > /dev/null
 
+# Quick pass over the HPCG path: a V-cycle-preconditioned solve through
+# hpfrun (smoother, transfers, FoM print) plus the E24 sweep with its
+# enforced pcg-beats-cg and bit-identity claims.
+mg-smoke:
+	$(GO) run ./cmd/hpfrun -hpcg 6,6,6 -np 4 > /dev/null
+	$(GO) run ./cmd/cgbench -exp E24 -quick > /dev/null
+
 # Modeled-machine benchmarks (send path allocation counts included),
 # plus the E19 communication-avoidance, E20 resilience, E21 solver-
-# service, E22 cluster and E23 s-step smoke runs with JSON snapshots
-# for regression diffing.
+# service, E22 cluster, E23 s-step and E24 HPCG smoke runs with JSON
+# snapshots for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
@@ -50,6 +59,7 @@ bench:
 	$(GO) run ./cmd/cgbench -exp E21 -quick -json BENCH_E21_quick.json
 	$(GO) run ./cmd/cgbench -exp E22 -quick -json BENCH_E22_quick.json
 	$(GO) run ./cmd/cgbench -exp E23 -quick -json BENCH_E23_quick.json
+	$(GO) run ./cmd/cgbench -exp E24 -quick -json BENCH_E24_quick.json
 
 # End-to-end service check: start hpfserve on a loopback port, submit a
 # job to it over HTTP, assert convergence.

@@ -33,6 +33,7 @@ func main() {
 		jsonPath = flag.String("json", "", "append per-experiment JSON snapshots to this file (BENCH_*.json)")
 		seed     = flag.Int64("seed", 1996, "matrix generator seed")
 		sstep    = flag.Int("sstep", 0, "restrict E23's s-step sweep to one blocking factor (0 = sweep 1,2,4,8)")
+		hpcg     = flag.String("hpcg", "", "restrict E24's per-rank brick sweep to one nx,ny,nz size (empty = full sweep)")
 		faultStr = flag.String("fault", "", `fault spec injected into every machine, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 	)
 	flag.Parse()
@@ -41,6 +42,7 @@ func main() {
 	cfg.Quick = *quick
 	cfg.Seed = *seed
 	cfg.SStep = *sstep
+	cfg.HPCG = *hpcg
 	t, err := topology.ByName(*topo)
 	if err != nil {
 		fatal(err)

@@ -197,7 +197,7 @@ func runSmoke(opts serve.Options) error {
 	var mbuf bytes.Buffer
 	_, _ = mbuf.ReadFrom(mresp.Body)
 	mresp.Body.Close()
-	if !bytes.Contains(mbuf.Bytes(), []byte("hpfserve_jobs_completed_total 1")) {
+	if !bytes.Contains(mbuf.Bytes(), []byte(`hpfserve_jobs_completed_total{job_type="cg"} 1`)) {
 		return errors.New("metrics did not count the completed job")
 	}
 

@@ -29,6 +29,9 @@ type Config struct {
 	// SStep, when nonzero, restricts E23's blocking-factor sweep to
 	// that single factor (cgbench -sstep); 0 sweeps {1, 2, 4, 8}.
 	SStep int
+	// HPCG, when non-empty ("nx,ny,nz"), restricts E24's per-rank brick
+	// sweep to that single size (cgbench -hpcg).
+	HPCG string
 	// Tracer, when non-nil, is attached to every machine the
 	// experiment builds: each Machine.Run deposits a trace.Recorder on
 	// it, so any experiment gains event-level drill-down (see
@@ -99,6 +102,7 @@ var experiments = map[string]Runner{
 	"E21": E21,
 	"E22": E22,
 	"E23": E23,
+	"E24": E24,
 }
 
 // IDs lists the experiment identifiers in run order.

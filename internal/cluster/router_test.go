@@ -419,15 +419,22 @@ func TestRouterMetricsRollup(t *testing.T) {
 	for _, want := range []string{
 		"hpfrouter_jobs_routed_total{shard=",
 		"hpfrouter_shards_live 2",
-		`hpfserve_jobs_submitted_total{shard="m1"}`,
-		`hpfserve_jobs_submitted_total{shard="m2"}`,
+		`hpfserve_jobs_submitted_total{shard="m1",job_type="cg"}`,
+		`hpfserve_jobs_submitted_total{shard="m2",job_type="cg"}`,
+		`hpfserve_stage_seconds_bucket{shard=`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("rollup missing %q:\n%s", want, text)
 		}
 	}
-	// One HELP/TYPE block per family even though two shards exported it.
-	for _, family := range []string{"hpfserve_jobs_submitted_total", "hpfserve_plan_cache_hits_total"} {
+	// One HELP/TYPE block per family even though two shards exported it
+	// and job_type labels fan each family into several series.
+	for _, family := range []string{
+		"hpfserve_jobs_submitted_total",
+		"hpfserve_jobs_completed_total",
+		"hpfserve_stage_seconds",
+		"hpfserve_plan_cache_hits_total",
+	} {
 		if n := strings.Count(text, "# TYPE "+family+" "); n != 1 {
 			t.Fatalf("family %s has %d TYPE lines, want 1", family, n)
 		}

@@ -1,0 +1,106 @@
+package grid
+
+import (
+	"fmt"
+
+	"hpfcg/internal/dist"
+)
+
+// Brick3 is a three-dimensional structured grid of X x Y x Z points
+// decomposed over NP processors in slabs of z-planes — the HPCG-style
+// domain decomposition where each rank owns a contiguous brick of the
+// global grid. Points are numbered lexicographically with x fastest
+// and z slowest, so every rank's points form one contiguous global
+// index range and the vector distribution is an ordinary contiguous
+// descriptor (the §5 irregular-distribution machinery then treats the
+// stencil's halo exactly like any other ghost set).
+type Brick3 struct {
+	X, Y, Z int // global grid dimensions
+	Procs   int // ranks the z-planes are dealt over
+}
+
+// NewBrick3 validates and builds a brick decomposition. Every rank
+// must own at least one z-plane.
+func NewBrick3(x, y, z, np int) (Brick3, error) {
+	if x < 1 || y < 1 || z < 1 {
+		return Brick3{}, fmt.Errorf("grid: brick dims %dx%dx%d must be positive", x, y, z)
+	}
+	if np < 1 {
+		return Brick3{}, fmt.Errorf("grid: brick needs at least one processor, got %d", np)
+	}
+	if z < np {
+		return Brick3{}, fmt.Errorf("grid: %d z-planes cannot cover %d processors", z, np)
+	}
+	return Brick3{X: x, Y: y, Z: z, Procs: np}, nil
+}
+
+// N returns the global point count.
+func (b Brick3) N() int { return b.X * b.Y * b.Z }
+
+// Index returns the global point index of grid coordinates (x, y, z).
+func (b Brick3) Index(x, y, z int) int { return (z*b.Y+y)*b.X + x }
+
+// Coords inverts Index.
+func (b Brick3) Coords(g int) (x, y, z int) {
+	x = g % b.X
+	g /= b.X
+	return x, g % b.Y, g / b.Y
+}
+
+// planeDist distributes the z-planes over the ranks.
+func (b Brick3) planeDist() dist.Block { return dist.NewBlock(b.Z, b.Procs) }
+
+// ZRange returns the half-open range of z-planes rank r owns.
+func (b Brick3) ZRange(r int) (lo, hi int) {
+	d := b.planeDist()
+	lo = d.Lo(r)
+	return lo, lo + d.Count(r)
+}
+
+// VectorDist returns the contiguous distribution of the grid's point
+// vector implied by the slab decomposition: rank r owns the points of
+// its z-planes, a contiguous global range because z varies slowest.
+func (b Brick3) VectorDist() dist.Irregular {
+	cuts := make([]int, b.Procs+1)
+	d := b.planeDist()
+	for r := 0; r < b.Procs; r++ {
+		cuts[r+1] = (d.Lo(r) + d.Count(r)) * b.X * b.Y
+	}
+	return dist.NewIrregular(cuts)
+}
+
+// CanCoarsen reports whether one geometric coarsening step (halving
+// every dimension) is possible: all dimensions even, and the coarse
+// grid still covering every rank with at least one z-plane and at
+// least NP points in total.
+func (b Brick3) CanCoarsen() bool {
+	if b.X%2 != 0 || b.Y%2 != 0 || b.Z%2 != 0 {
+		return false
+	}
+	cx, cy, cz := b.X/2, b.Y/2, b.Z/2
+	return cz >= b.Procs && cx*cy*cz >= b.Procs
+}
+
+// Coarsen halves every dimension. It panics when CanCoarsen is false;
+// use ClampLevels to size a hierarchy safely.
+func (b Brick3) Coarsen() Brick3 {
+	if !b.CanCoarsen() {
+		panic(fmt.Sprintf("grid: brick %dx%dx%d/%d cannot coarsen", b.X, b.Y, b.Z, b.Procs))
+	}
+	return Brick3{X: b.X / 2, Y: b.Y / 2, Z: b.Z / 2, Procs: b.Procs}
+}
+
+// ClampLevels returns the deepest achievable multigrid hierarchy depth
+// not exceeding want: coarsening stops at odd dimensions, at
+// dimensions no longer divisible by two, and before a coarse grid
+// would hold fewer points (or z-planes) than processors — the caller
+// gets a clamped depth instead of a panic deep in level setup. The
+// result is always at least 1 (the fine grid itself).
+func ClampLevels(b Brick3, want int) int {
+	levels := 1
+	for levels < want && b.CanCoarsen() {
+		b = b.Coarsen()
+		levels++
+	}
+	return levels
+}

@@ -1,0 +1,111 @@
+package grid
+
+import "testing"
+
+func TestBrick3IndexRoundTrip(t *testing.T) {
+	b, err := NewBrick3(3, 5, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.N() != 60 {
+		t.Fatalf("N = %d, want 60", b.N())
+	}
+	for g := 0; g < b.N(); g++ {
+		x, y, z := b.Coords(g)
+		if b.Index(x, y, z) != g {
+			t.Fatalf("Index(Coords(%d)) = %d", g, b.Index(x, y, z))
+		}
+	}
+	// x must vary fastest so each rank's slab is contiguous.
+	if b.Index(1, 0, 0) != 1 || b.Index(0, 1, 0) != 3 || b.Index(0, 0, 1) != 15 {
+		t.Fatalf("lexicographic order broken: %d %d %d",
+			b.Index(1, 0, 0), b.Index(0, 1, 0), b.Index(0, 0, 1))
+	}
+}
+
+func TestBrick3VectorDistMatchesSlabs(t *testing.T) {
+	b, err := NewBrick3(4, 4, 10, 3) // uneven: 10 planes over 3 ranks
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := b.VectorDist()
+	if d.N() != b.N() || d.NP() != 3 {
+		t.Fatalf("dist shape %d/%d", d.N(), d.NP())
+	}
+	total := 0
+	for r := 0; r < 3; r++ {
+		lo, hi := b.ZRange(r)
+		if got := d.Count(r); got != (hi-lo)*b.X*b.Y {
+			t.Fatalf("rank %d: count %d, want %d planes * %d", r, got, hi-lo, b.X*b.Y)
+		}
+		if d.Lo(r) != lo*b.X*b.Y {
+			t.Fatalf("rank %d: lo %d, want %d", r, d.Lo(r), lo*b.X*b.Y)
+		}
+		total += d.Count(r)
+	}
+	if total != b.N() {
+		t.Fatalf("counts cover %d of %d points", total, b.N())
+	}
+}
+
+func TestBrick3NewRejectsBadShapes(t *testing.T) {
+	if _, err := NewBrick3(0, 4, 4, 1); err == nil {
+		t.Fatal("accepted zero dimension")
+	}
+	if _, err := NewBrick3(4, 4, 2, 4); err == nil {
+		t.Fatal("accepted fewer z-planes than processors")
+	}
+	if _, err := NewBrick3(4, 4, 4, 0); err == nil {
+		t.Fatal("accepted zero processors")
+	}
+}
+
+// Coarsening edge cases: odd dims stop immediately, dims not divisible
+// by 2^levels clamp partway, and a processor count larger than the
+// would-be coarsest grid clamps rather than panicking.
+func TestClampLevelsOddDims(t *testing.T) {
+	b, _ := NewBrick3(7, 8, 8, 2)
+	if got := ClampLevels(b, 4); got != 1 {
+		t.Fatalf("odd x-dim: levels = %d, want 1", got)
+	}
+	if b.CanCoarsen() {
+		t.Fatal("odd x-dim brick claims it can coarsen")
+	}
+}
+
+func TestClampLevelsNonPowerOfTwoDims(t *testing.T) {
+	// 12 halves twice (12 -> 6 -> 3) before going odd.
+	b, _ := NewBrick3(12, 12, 12, 2)
+	if got := ClampLevels(b, 4); got != 3 {
+		t.Fatalf("12^3 grid: levels = %d, want 3", got)
+	}
+	// A full power-of-two grid reaches the requested depth.
+	b, _ = NewBrick3(16, 16, 16, 2)
+	if got := ClampLevels(b, 4); got != 4 {
+		t.Fatalf("16^3 grid: levels = %d, want 4", got)
+	}
+}
+
+func TestClampLevelsNPLargerThanCoarseGrid(t *testing.T) {
+	// 4x4x16 over 8 ranks: one coarsening gives 2x2x8 (one plane per
+	// rank); a second would give 1x1x4 — 4 points for 8 ranks — so the
+	// depth clamps at 2 instead of panicking in level setup.
+	b, err := NewBrick3(4, 4, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ClampLevels(b, 4); got != 2 {
+		t.Fatalf("levels = %d, want 2", got)
+	}
+	c := b.Coarsen()
+	if c.CanCoarsen() {
+		t.Fatal("2x2x8 over 8 ranks claims it can coarsen below np points")
+	}
+}
+
+func TestClampLevelsNeverBelowOne(t *testing.T) {
+	b, _ := NewBrick3(3, 3, 3, 1)
+	if got := ClampLevels(b, 0); got != 1 {
+		t.Fatalf("levels = %d, want 1", got)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"hpfcg/internal/core"
 	"hpfcg/internal/darray"
 	"hpfcg/internal/hpf"
+	"hpfcg/internal/mg"
 	"hpfcg/internal/sparse"
 	"hpfcg/internal/spmv"
 )
@@ -108,6 +109,13 @@ type Prepared struct {
 	// the SPMD region, and warm flips only between runs.
 	ops  []spmv.Operator
 	warm bool
+
+	// MG handles (PrepareMG) carry a stencil spec instead of a matrix:
+	// A and pc are nil, and mgProbs[r] caches rank r's level hierarchy
+	// after the first SolveHPCGBatch the way ops caches operators.
+	mgSpec   *mg.Spec
+	mgLevels int
+	mgProbs  []*mg.Problem
 }
 
 // Prepare validates the plan against the matrix and fixes the
@@ -131,6 +139,11 @@ func (pr *Prepared) Warm() bool { return pr.warm }
 // simple — it is a cache-pressure signal, not an allocator.
 func (pr *Prepared) MemoryBytes() int64 {
 	const intB, floatB = 8, 8
+	if pr.mgSpec != nil {
+		// MG handles never materialize a matrix; the hierarchy's size
+		// is analytic in the spec.
+		return pr.mgSpec.ModelBytes(pr.m.NP())
+	}
 	sz := int64(len(pr.A.RowPtr)+len(pr.A.Col))*intB + int64(len(pr.A.Val))*floatB
 	if pr.pc.csc != nil {
 		sz += int64(len(pr.pc.csc.ColPtr)+len(pr.pc.csc.Row))*intB + int64(len(pr.pc.csc.Val))*floatB
@@ -148,7 +161,16 @@ func (pr *Prepared) MemoryBytes() int64 {
 func (pr *Prepared) Strategy() Strategy { return pr.strategy }
 
 // N returns the system size.
-func (pr *Prepared) N() int { return pr.A.NRows }
+func (pr *Prepared) N() int {
+	if pr.mgSpec != nil {
+		fine, err := pr.mgSpec.Fine(pr.m.NP())
+		if err != nil {
+			return 0
+		}
+		return fine.N()
+	}
+	return pr.A.NRows
+}
 
 // BatchResult is a completed multi-RHS batch solve.
 type BatchResult struct {
@@ -183,6 +205,9 @@ func SolveCGBatch(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, rhs [][]float6
 
 // SolveBatch runs one batch of right-hand sides (see SolveCGBatch).
 func (pr *Prepared) SolveBatch(rhs [][]float64, opts []core.Options) (*BatchResult, error) {
+	if pr.mgSpec != nil {
+		return pr.SolveHPCGBatch(rhs, opts)
+	}
 	if len(rhs) == 0 {
 		return nil, fmt.Errorf("hpfexec: empty batch")
 	}

@@ -191,5 +191,3 @@ func TestPreparedReuse(t *testing.T) {
 		t.Error("empty strategy")
 	}
 }
-
-

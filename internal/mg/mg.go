@@ -1,0 +1,129 @@
+// Package mg is the HPCG-style multigrid subsystem: a deterministic
+// 27-point 3-D stencil problem generator over internal/grid's slab
+// decomposition, a distributed symmetric Gauss-Seidel smoother, and a
+// geometric V-cycle that plugs into core.PCG as a Preconditioner.
+//
+// The stencil is the HPCG benchmark operator — diagonal 26, every
+// interior point coupled to its 26 neighbours with -1 — symmetric
+// positive definite by diagonal dominance. Each rank owns a brick of
+// nx × ny × nz points (the global grid is nx × ny × nz·np, z-slabs),
+// so the halo is one x-y plane per side and the existing inspector
+// schedules carry it exactly like any other irregular gather. The
+// hierarchy halves every dimension per level; restriction is
+// injection, prolongation its transpose, so the V-cycle is symmetric
+// and PCG's theory applies.
+//
+// Everything about a problem is deterministic in (spec, np): level
+// setup, smoother sweep order, and the single halo exchange per sweep
+// are all sequential per rank with frozen ghosts, so repeated solves
+// are bit-identical — the property the serving tier's plan registry
+// and the E24 experiment both assert.
+package mg
+
+import (
+	"fmt"
+
+	"hpfcg/internal/grid"
+)
+
+// Spec bounds. Dimensions are per-rank brick sides; MaxDim keeps a
+// served job from requesting a grid that swamps the simulator, and
+// MaxLevels/MaxSmooths bound the V-cycle shape (satellite: "absurd
+// Levels" must be rejected at admission, not deep in a worker).
+const (
+	DefaultLevels  = 4
+	DefaultSmooths = 1
+	MaxLevels      = 8
+	MaxSmooths     = 8
+	MaxDim         = 256
+)
+
+// Spec sizes one HPCG-style problem: each rank owns an Nx × Ny × Nz
+// brick (the global grid is Nx × Ny × Nz·np), the hierarchy is Levels
+// deep (clamped to what the geometry supports; 0 selects
+// DefaultLevels), and every V-cycle level runs Smooths symmetric
+// Gauss-Seidel sweeps before and after coarse correction (0 selects
+// DefaultSmooths).
+type Spec struct {
+	Nx, Ny, Nz int
+	Levels     int
+	Smooths    int
+}
+
+// WithDefaults fills zero Levels/Smooths with the package defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.Levels == 0 {
+		s.Levels = DefaultLevels
+	}
+	if s.Smooths == 0 {
+		s.Smooths = DefaultSmooths
+	}
+	return s
+}
+
+// Validate checks the (defaulted) spec against the package bounds.
+// Errors name the offending field so the serving tier can surface
+// them as admission-time 400s.
+func (s Spec) Validate() error {
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"nx", s.Nx}, {"ny", s.Ny}, {"nz", s.Nz}} {
+		if d.v < 1 || d.v > MaxDim {
+			return fmt.Errorf("mg: %s = %d outside [1, %d]", d.name, d.v, MaxDim)
+		}
+	}
+	if s.Levels < 1 || s.Levels > MaxLevels {
+		return fmt.Errorf("mg: levels = %d outside [1, %d]", s.Levels, MaxLevels)
+	}
+	if s.Smooths < 1 || s.Smooths > MaxSmooths {
+		return fmt.Errorf("mg: smooths = %d outside [1, %d]", s.Smooths, MaxSmooths)
+	}
+	return nil
+}
+
+// Fine returns the global fine-grid brick for np ranks: each rank's
+// local Nz planes stack into a global z-extent of Nz·np.
+func (s Spec) Fine(np int) (grid.Brick3, error) {
+	return grid.NewBrick3(s.Nx, s.Ny, s.Nz*np, np)
+}
+
+// Key is the canonical cache-key fragment of the spec: two specs with
+// equal keys build identical problems at equal np.
+func (s Spec) Key() string {
+	s = s.WithDefaults()
+	return fmt.Sprintf("27pt:%dx%dx%d:L%d:S%d", s.Nx, s.Ny, s.Nz, s.Levels, s.Smooths)
+}
+
+// stencilNNZ is the exact stored-entry count of the 27-point stencil
+// on an X × Y × Z grid: per-dimension neighbour counts factorize, and
+// a length-L line contributes 3L-2 (row, col) pairs in its dimension.
+func stencilNNZ(b grid.Brick3) int64 {
+	return int64(3*b.X-2) * int64(3*b.Y-2) * int64(3*b.Z-2)
+}
+
+// ModelBytes estimates the resident size of a prepared hierarchy at
+// np ranks — stencil rows (one int column + one float value per
+// entry, plus row pointers and diagonals) and the per-level scratch
+// vectors, summed over the clamped hierarchy. Like
+// Prepared.MemoryBytes this is a cache-pressure signal for the plan
+// registry, not an allocator.
+func (s Spec) ModelBytes(np int) int64 {
+	s = s.WithDefaults()
+	b, err := s.Fine(np)
+	if err != nil {
+		return 0
+	}
+	const intB, floatB = 8, 8
+	depth := grid.ClampLevels(b, s.Levels)
+	var total int64
+	for l := 0; l < depth; l++ {
+		nnz := stencilNNZ(b)
+		n := int64(b.N())
+		total += nnz*(intB+floatB) + n*(intB+4*floatB)
+		if l+1 < depth {
+			b = b.Coarsen()
+		}
+	}
+	return total
+}

@@ -1,0 +1,169 @@
+// Problem assembles the level hierarchy and exposes the two faces the
+// solver stack consumes: the fine-grid stencil as an spmv.Operator
+// (fused and rebindable, so core.CG/PCG and the plan registry treat
+// it like any matrix operator) and the V-cycle as a
+// core.Preconditioner.
+package mg
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/grid"
+)
+
+// Problem is one rank's handle on a prepared HPCG-style problem. It
+// is built inside an SPMD run (construction is collective), owns all
+// per-level scratch, and can be rebound to a later run's Proc — the
+// warm path that lets hpfexec cache hierarchies across batch windows.
+type Problem struct {
+	p       *comm.Proc
+	spec    Spec
+	levels  []*level
+	smooths int
+	// fineD is the fine-grid distribution boxed once — alignment
+	// checks on the hot path must not re-box the concrete descriptor
+	// into the interface per call.
+	fineD dist.Dist
+}
+
+// NewProblem builds the hierarchy for the (defaulted, validated) spec
+// on p's machine. The requested depth clamps to what the geometry
+// supports (grid.ClampLevels), never errors on it. Collective.
+func NewProblem(p *comm.Proc, spec Spec) (*Problem, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	fine, err := spec.Fine(p.NP())
+	if err != nil {
+		return nil, err
+	}
+	depth := grid.ClampLevels(fine, spec.Levels)
+	pb := &Problem{p: p, spec: spec, smooths: spec.Smooths}
+	b := fine
+	for l := 0; l < depth; l++ {
+		lv := newLevel(p, b)
+		if l > 0 {
+			lv.buildTransfer(p, pb.levels[l-1])
+		}
+		pb.levels = append(pb.levels, lv)
+		if l+1 < depth {
+			b = b.Coarsen()
+		}
+	}
+	pb.fineD = pb.levels[0].d
+	return pb, nil
+}
+
+// Spec returns the (defaulted) spec the problem was built from.
+func (pb *Problem) Spec() Spec { return pb.spec }
+
+// Levels returns the clamped hierarchy depth actually built.
+func (pb *Problem) Levels() int { return len(pb.levels) }
+
+// Fine returns the fine-grid brick.
+func (pb *Problem) Fine() grid.Brick3 { return pb.levels[0].b }
+
+// Dist returns the fine-grid vector distribution solve vectors must
+// align with.
+func (pb *Problem) Dist() dist.Irregular { return pb.levels[0].d }
+
+// Rebind re-attaches the problem (all level schedules) to a fresh
+// Proc of the same rank and shape — no inspector exchange, no level
+// setup, the warm registry path.
+func (pb *Problem) Rebind(p *comm.Proc) {
+	pb.p = p
+	for _, lv := range pb.levels {
+		lv.rebind(p)
+	}
+}
+
+// checkAligned panics unless v aligns with the fine grid — the same
+// HPF alignment rule darray enforces between vectors.
+func (pb *Problem) checkAligned(v *darray.Vector) []float64 {
+	if !dist.Same(v.Dist(), pb.fineD) {
+		panic("mg: vector not aligned with the problem's fine grid")
+	}
+	return v.Local()
+}
+
+// vcycle runs one V-cycle on A_l·x = r, overwriting xl with the
+// result (initial guess zero). All work is on preallocated level
+// scratch; nothing allocates.
+func (pb *Problem) vcycle(l int, rl, xl []float64) {
+	lv := pb.levels[l]
+	for i := range xl {
+		xl[i] = 0
+	}
+	pb.p.Compute(lv.n)
+	if l == len(pb.levels)-1 {
+		// Coarsest solve: the smoother alone (the HPCG convention).
+		for s := 0; s < pb.smooths; s++ {
+			lv.symgs(pb.p, rl, xl)
+		}
+		return
+	}
+	for s := 0; s < pb.smooths; s++ {
+		lv.symgs(pb.p, rl, xl)
+	}
+	lv.residual(pb.p, rl, xl, lv.res)
+	next := pb.levels[l+1]
+	next.restrictFrom(pb.p, lv.res)
+	pb.vcycle(l+1, next.r, next.x)
+	next.prolongInto(pb.p, xl)
+	for s := 0; s < pb.smooths; s++ {
+		lv.symgs(pb.p, rl, xl)
+	}
+}
+
+// Operator returns the fine-grid 27-point stencil as a distributed
+// operator for core.CG/PCG.
+func (pb *Problem) Operator() *Operator { return &Operator{pb: pb} }
+
+// Precond returns the V-cycle as a core.Preconditioner.
+func (pb *Problem) Precond() *Precond { return &Precond{pb: pb} }
+
+// Operator is the fine-grid stencil mat-vec. It implements
+// spmv.Operator, spmv.FusedOperator and spmv.Rebindable.
+type Operator struct {
+	pb *Problem
+}
+
+// N implements spmv.Operator.
+func (a *Operator) N() int { return a.pb.levels[0].b.N() }
+
+// NNZ implements spmv.Operator. The count is analytic — the stencil
+// is never materialized globally.
+func (a *Operator) NNZ() int { return int(a.pb.levels[0].nnzGlobal) }
+
+// Apply implements spmv.Operator.
+func (a *Operator) Apply(x, y *darray.Vector) {
+	a.pb.levels[0].matvec(a.pb.p, a.pb.checkAligned(x), a.pb.checkAligned(y))
+}
+
+// ApplyDot implements spmv.FusedOperator.
+func (a *Operator) ApplyDot(x, y *darray.Vector) float64 {
+	return a.pb.levels[0].matvecDot(a.pb.p, a.pb.checkAligned(x), a.pb.checkAligned(y))
+}
+
+// Rebind implements spmv.Rebindable by rebinding the whole problem
+// (the preconditioner shares the fine level's schedule).
+func (a *Operator) Rebind(p *comm.Proc) { a.pb.Rebind(p) }
+
+// Precond is the V-cycle preconditioner z = M⁻¹·r.
+type Precond struct {
+	pb *Problem
+}
+
+// Apply implements core.Preconditioner.
+func (m *Precond) Apply(r, z *darray.Vector) {
+	m.pb.vcycle(0, m.pb.checkAligned(r), m.pb.checkAligned(z))
+}
+
+// Name implements core.Preconditioner.
+func (m *Precond) Name() string {
+	return fmt.Sprintf("mg-vcycle(levels=%d,smooths=%d)", len(m.pb.levels), m.pb.smooths)
+}

@@ -1,0 +1,16 @@
+package report
+
+// GFlopRate is the HPCG-style figure of merit: floating-point
+// operations per second in units of 1e9, from an operation count and
+// an elapsed time. The benchmark tier reports it twice per run — once
+// against the modeled machine clock (the paper's cost model) and once
+// against host wall clock (the simulator's own throughput) — and the
+// serving tier attaches the modeled rate to every hpcg job result.
+// Non-positive durations yield 0 rather than an infinity that would
+// poison table aggregation.
+func GFlopRate(flops int64, seconds float64) float64 {
+	if seconds <= 0 || flops <= 0 {
+		return 0
+	}
+	return float64(flops) / seconds / 1e9
+}

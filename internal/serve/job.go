@@ -11,9 +11,27 @@ import (
 
 	"hpfcg/internal/fault"
 	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/mg"
 	"hpfcg/internal/sparse"
 	"hpfcg/internal/topology"
 )
+
+// MGSpec sizes an hpcg job's stencil problem: each rank owns an
+// nx × ny × nz brick of the 27-point operator, solved by V-cycle
+// multigrid-preconditioned CG (mg.Spec mirrors the fields; zero
+// levels/smooths select the package defaults).
+type MGSpec struct {
+	Nx      int `json:"nx"`
+	Ny      int `json:"ny"`
+	Nz      int `json:"nz"`
+	Levels  int `json:"levels,omitempty"`
+	Smooths int `json:"smooths,omitempty"`
+}
+
+// spec converts to the mg package's form with defaults applied.
+func (m *MGSpec) spec() mg.Spec {
+	return mg.Spec{Nx: m.Nx, Ny: m.Ny, Nz: m.Nz, Levels: m.Levels, Smooths: m.Smooths}.WithDefaults()
+}
 
 // JobSpec is one solve request. The matrix comes either from a
 // built-in generator spec (Matrix, e.g. "laplace2d:32:32") or from an
@@ -29,8 +47,12 @@ type JobSpec struct {
 	// Layout selects the execution: "csr" (default), "csc-serial",
 	// "csc-merge" or "balanced" (see hpfexec.Layouts).
 	Layout string `json:"layout,omitempty"`
-	// Method is the solver; only "cg" (the default) is served.
+	// Method is the solver: "cg" (the default) solves the job's matrix;
+	// "hpcg" runs V-cycle multigrid-preconditioned CG on the 27-point
+	// stencil sized by MG (no matrix field applies).
 	Method string `json:"method,omitempty"`
+	// MG sizes the stencil problem of an hpcg job.
+	MG *MGSpec `json:"mg,omitempty"`
 	// SStep is the communication-avoiding blocking factor: 0 (or
 	// absent) lets the cost model choose per machine shape, 1 forces
 	// plain CG, 2..hpfexec.MaxSStep fixes the factor (CSR layouts
@@ -90,15 +112,33 @@ func (sp *JobSpec) normalize() {
 	sp.Matrix = strings.TrimSpace(sp.Matrix)
 }
 
-// validate rejects requests the service cannot run. Matrix content
-// errors (bad generator spec, malformed Matrix Market) surface when
-// the job runs; validate only checks what is knowable for free.
+// fieldErr names the offending request field, so the HTTP 400 a
+// *ValidationError maps to tells the client exactly what to fix.
+func fieldErr(field, format string, args ...any) error {
+	return fmt.Errorf("serve: field %s: %s", field, fmt.Sprintf(format, args...))
+}
+
+// validate rejects requests the service cannot run, centrally and
+// with field-named errors — numeric bounds (sstep, np, dims, levels,
+// tolerances) fail here at admission time with a 400 instead of deep
+// in a worker. Matrix content errors (bad generator spec, malformed
+// Matrix Market) still surface when the job runs; validate only
+// checks what is knowable for free.
 func (sp *JobSpec) validate(maxNP int) error {
-	if sp.Matrix == "" && sp.MatrixMarket == "" {
-		return fmt.Errorf("serve: job needs matrix or matrix_market")
-	}
-	if sp.Method != "cg" {
-		return fmt.Errorf("serve: unsupported method %q (only cg is served)", sp.Method)
+	switch sp.Method {
+	case "cg":
+		if sp.Matrix == "" && sp.MatrixMarket == "" {
+			return fieldErr("matrix", "job needs matrix or matrix_market")
+		}
+		if sp.MG != nil {
+			return fieldErr("mg", "only applies to hpcg jobs")
+		}
+	case "hpcg":
+		if err := sp.validateMG(); err != nil {
+			return err
+		}
+	default:
+		return fieldErr("method", "unsupported %q (cg and hpcg are served)", sp.Method)
 	}
 	valid := false
 	for _, l := range hpfexec.Layouts() {
@@ -107,25 +147,34 @@ func (sp *JobSpec) validate(maxNP int) error {
 		}
 	}
 	if !valid {
-		return fmt.Errorf("serve: unknown layout %q (have %v)", sp.Layout, hpfexec.Layouts())
+		return fieldErr("layout", "unknown %q (have %v)", sp.Layout, hpfexec.Layouts())
 	}
 	if sp.NP < 1 || sp.NP > maxNP {
-		return fmt.Errorf("serve: np %d outside [1,%d]", sp.NP, maxNP)
+		return fieldErr("np", "%d outside [1,%d]", sp.NP, maxNP)
 	}
 	if sp.SStep < 0 || sp.SStep > hpfexec.MaxSStep {
-		return fmt.Errorf("serve: sstep %d outside [0,%d]", sp.SStep, hpfexec.MaxSStep)
+		return fieldErr("sstep", "%d outside [0,%d]", sp.SStep, hpfexec.MaxSStep)
 	}
 	if sp.SStep >= 2 && strings.HasPrefix(sp.Layout, "csc") {
-		return fmt.Errorf("serve: sstep %d needs a CSR layout, got %q", sp.SStep, sp.Layout)
+		return fieldErr("sstep", "%d needs a CSR layout, got %q", sp.SStep, sp.Layout)
 	}
 	if _, err := topology.ByName(sp.Topology); err != nil {
 		return err
 	}
 	if sp.Tol < 0 {
-		return fmt.Errorf("serve: negative tolerance %g", sp.Tol)
+		return fieldErr("tol", "negative tolerance %g", sp.Tol)
 	}
-	if sp.MaxIter < 0 || sp.TimeoutMS < 0 || sp.CkptInterval < 0 || sp.MaxRestarts < 0 {
-		return fmt.Errorf("serve: negative iteration/timeout bounds")
+	if sp.MaxIter < 0 {
+		return fieldErr("maxiter", "negative bound %d", sp.MaxIter)
+	}
+	if sp.TimeoutMS < 0 {
+		return fieldErr("timeout_ms", "negative bound %d", sp.TimeoutMS)
+	}
+	if sp.CkptInterval < 0 {
+		return fieldErr("ckpt_interval", "negative bound %d", sp.CkptInterval)
+	}
+	if sp.MaxRestarts < 0 {
+		return fieldErr("max_restarts", "negative bound %d", sp.MaxRestarts)
 	}
 	if sp.Fault != "" {
 		if _, err := fault.Parse(sp.Fault); err != nil {
@@ -133,6 +182,50 @@ func (sp *JobSpec) validate(maxNP int) error {
 		}
 	}
 	return nil
+}
+
+// validateMG checks the hpcg job shape: the stencil dims and V-cycle
+// bounds, and the per-matrix knobs that have no meaning for a
+// generated stencil problem.
+func (sp *JobSpec) validateMG() error {
+	if sp.MG == nil {
+		return fieldErr("mg", "hpcg jobs need the mg block ({nx,ny,nz,...})")
+	}
+	for _, d := range []struct {
+		name string
+		v    int
+	}{{"mg.nx", sp.MG.Nx}, {"mg.ny", sp.MG.Ny}, {"mg.nz", sp.MG.Nz}} {
+		if d.v < 1 || d.v > mg.MaxDim {
+			return fieldErr(d.name, "%d outside [1,%d]", d.v, mg.MaxDim)
+		}
+	}
+	if sp.MG.Levels < 0 || sp.MG.Levels > mg.MaxLevels {
+		return fieldErr("mg.levels", "%d outside [0,%d] (0 selects %d)", sp.MG.Levels, mg.MaxLevels, mg.DefaultLevels)
+	}
+	if sp.MG.Smooths < 0 || sp.MG.Smooths > mg.MaxSmooths {
+		return fieldErr("mg.smooths", "%d outside [0,%d] (0 selects %d)", sp.MG.Smooths, mg.MaxSmooths, mg.DefaultSmooths)
+	}
+	if sp.Matrix != "" || sp.MatrixMarket != "" {
+		return fieldErr("matrix", "does not apply to hpcg jobs (the stencil is generated)")
+	}
+	if sp.SStep != 0 {
+		return fieldErr("sstep", "does not apply to hpcg jobs")
+	}
+	if sp.Fault != "" || sp.Resilient {
+		return fieldErr("fault", "fault injection and resilient mode are not supported for hpcg jobs")
+	}
+	if sp.Trace || sp.TimeoutMS != 0 {
+		return fieldErr("trace", "tracing and timeouts are not supported for hpcg jobs")
+	}
+	return nil
+}
+
+// jobType labels the job for metrics: "cg" or "hpcg".
+func (sp *JobSpec) jobType() string {
+	if sp.Method == "hpcg" {
+		return "hpcg"
+	}
+	return "cg"
 }
 
 // batchable reports whether the job may coalesce with same-matrix
@@ -156,6 +249,9 @@ type batchKey struct {
 }
 
 func (sp *JobSpec) key() batchKey {
+	if sp.Method == "hpcg" {
+		return batchKey{matrix: "hpcg:" + sp.MG.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology}
+	}
 	mat := "gen:" + sp.Matrix
 	if sp.MatrixMarket != "" {
 		h := fnv.New64a()
@@ -182,6 +278,11 @@ func (sp *JobSpec) ContentHash() (string, error) {
 // the caller does not parse twice. Generator specs return a nil
 // matrix — on a plan-cache hit it is never built at all.
 func (sp *JobSpec) contentHashMatrix() (string, *sparse.CSR, error) {
+	if sp.Method == "hpcg" {
+		// The stencil problem is fully determined by its spec string;
+		// no matrix is ever assembled.
+		return sparse.HashGeneratorSpec("hpcg:" + sp.MG.spec().Key()), nil, nil
+	}
 	if sp.MatrixMarket != "" {
 		A, err := sparse.ReadMatrixMarket(strings.NewReader(sp.MatrixMarket))
 		if err != nil {
@@ -197,6 +298,10 @@ func (sp *JobSpec) contentHashMatrix() (string, *sparse.CSR, error) {
 // requested s-step factor — a widened powers schedule is a different
 // cached artifact than the single-level ghost schedule).
 func (sp *JobSpec) planKey(hash string) string {
+	if sp.Method == "hpcg" {
+		s := sp.MG.spec()
+		return fmt.Sprintf("%s|hpcg|%d|%s|L%d:S%d", hash, sp.NP, sp.Topology, s.Levels, s.Smooths)
+	}
 	return fmt.Sprintf("%s|%s|%d|%s|s%d", hash, sp.Layout, sp.NP, sp.Topology, sp.SStep)
 }
 
@@ -275,6 +380,13 @@ type JobResult struct {
 	// Attempts/Failures report resilient-mode recovery (0 otherwise).
 	Attempts int `json:"attempts,omitempty"`
 	Failures int `json:"failures,omitempty"`
+	// Levels is the clamped multigrid hierarchy depth an hpcg job ran
+	// with (0 for cg jobs).
+	Levels int `json:"levels,omitempty"`
+	// ModelGFlops is the HPCG-style figure of merit: the batch run's
+	// charged floating-point operations over its modeled makespan, in
+	// GFLOP/s of the modeled machine.
+	ModelGFlops float64 `json:"model_gflops,omitempty"`
 }
 
 // JobView is the externally visible snapshot of a job.

@@ -62,21 +62,23 @@ func occupancyBuckets() []float64 {
 	return []float64{1, 2, 4, 8, 16, 32}
 }
 
-// Metrics is the service's live counter set.
+// Metrics is the service's live counter set. Job-scoped families carry
+// a job_type label ("cg" | "hpcg") so operators can tell stencil
+// traffic from general sparse traffic on one scrape.
 type Metrics struct {
 	mu sync.Mutex
 
-	submitted uint64
-	completed uint64
-	failed    uint64
+	submitted map[string]uint64 // by job_type
+	completed map[string]uint64 // by job_type
+	failed    map[string]uint64 // by job_type
 	rejected  map[string]uint64 // by reason: queue_full, draining
 
 	queueDepth int
 	inflight   int
 
-	queueWait *histogram // submit -> dispatch, wall seconds
-	runWall   *histogram // dispatch -> finish, wall seconds
-	occupancy *histogram // jobs per batch
+	queueWait map[string]*histogram // submit -> dispatch, wall seconds, by job_type
+	runWall   map[string]*histogram // dispatch -> finish, wall seconds, by job_type
+	occupancy *histogram            // jobs per batch
 
 	batches      uint64
 	modelSeconds map[string]float64 // makespan, comm, setup
@@ -88,15 +90,33 @@ type Metrics struct {
 
 func newMetrics() *Metrics {
 	return &Metrics{
+		submitted:    map[string]uint64{},
+		completed:    map[string]uint64{},
+		failed:       map[string]uint64{},
 		rejected:     map[string]uint64{},
-		queueWait:    newHistogram(secondsBuckets()),
-		runWall:      newHistogram(secondsBuckets()),
+		queueWait:    map[string]*histogram{},
+		runWall:      map[string]*histogram{},
 		occupancy:    newHistogram(occupancyBuckets()),
 		modelSeconds: map[string]float64{},
 	}
 }
 
-func (mt *Metrics) submit()           { mt.mu.Lock(); mt.submitted++; mt.mu.Unlock() }
+// stageHist lazily creates the per-job_type stage histogram. Caller
+// holds mt.mu.
+func stageHist(m map[string]*histogram, jobType string) *histogram {
+	h, ok := m[jobType]
+	if !ok {
+		h = newHistogram(secondsBuckets())
+		m[jobType] = h
+	}
+	return h
+}
+
+func (mt *Metrics) submit(jobType string) {
+	mt.mu.Lock()
+	mt.submitted[jobType]++
+	mt.mu.Unlock()
+}
 func (mt *Metrics) reject(why string) { mt.mu.Lock(); mt.rejected[why]++; mt.mu.Unlock() }
 
 func (mt *Metrics) setGauges(queueDepth, inflight int) {
@@ -105,24 +125,25 @@ func (mt *Metrics) setGauges(queueDepth, inflight int) {
 	mt.mu.Unlock()
 }
 
-func (mt *Metrics) dispatch(batchSize int, queueWaits []float64) {
+func (mt *Metrics) dispatch(jobType string, batchSize int, queueWaits []float64) {
 	mt.mu.Lock()
 	mt.batches++
 	mt.occupancy.observe(float64(batchSize))
-	for _, qw := range queueWaits {
-		mt.queueWait.observe(qw)
+	qw := stageHist(mt.queueWait, jobType)
+	for _, w := range queueWaits {
+		qw.observe(w)
 	}
 	mt.mu.Unlock()
 }
 
-func (mt *Metrics) finish(ok bool, runSeconds float64) {
+func (mt *Metrics) finish(jobType string, ok bool, runSeconds float64) {
 	mt.mu.Lock()
 	if ok {
-		mt.completed++
+		mt.completed[jobType]++
 	} else {
-		mt.failed++
+		mt.failed[jobType]++
 	}
-	mt.runWall.observe(runSeconds)
+	stageHist(mt.runWall, jobType).observe(runSeconds)
 	mt.mu.Unlock()
 }
 
@@ -134,14 +155,50 @@ func (mt *Metrics) addModel(makespan, comm, setup float64) {
 	mt.mu.Unlock()
 }
 
-// Snapshot returns headline counters for tests and logs.
+// Snapshot returns headline counters for tests and logs, summed across
+// job types.
 func (mt *Metrics) Snapshot() (submitted, completed, failed, rejected uint64) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
+	for _, n := range mt.submitted {
+		submitted += n
+	}
+	for _, n := range mt.completed {
+		completed += n
+	}
+	for _, n := range mt.failed {
+		failed += n
+	}
 	for _, n := range mt.rejected {
 		rejected += n
 	}
-	return mt.submitted, mt.completed, mt.failed, rejected
+	return submitted, completed, failed, rejected
+}
+
+// sortedKeys returns the map's keys in deterministic exposition order.
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// writeCounterByType renders one labeled counter family: a single
+// HELP/TYPE header followed by one series per job_type. The known job
+// types are always exported (zero before first traffic) so dashboards
+// and rate() queries see stable series.
+func writeCounterByType(w io.Writer, name, help string, m map[string]uint64) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s counter\n", name)
+	seeded := map[string]uint64{"cg": 0, "hpcg": 0}
+	for jt, n := range m {
+		seeded[jt] = n
+	}
+	for _, jt := range sortedKeys(seeded) {
+		fmt.Fprintf(w, "%s{job_type=%q} %d\n", name, jt, seeded[jt])
+	}
 }
 
 // WriteProm renders the metrics in Prometheus text format.
@@ -149,28 +206,20 @@ func (mt *Metrics) WriteProm(w io.Writer) {
 	mt.mu.Lock()
 	defer mt.mu.Unlock()
 
-	fmt.Fprintln(w, "# HELP hpfserve_jobs_submitted_total Jobs admitted to the queue.")
-	fmt.Fprintln(w, "# TYPE hpfserve_jobs_submitted_total counter")
-	fmt.Fprintf(w, "hpfserve_jobs_submitted_total %d\n", mt.submitted)
+	writeCounterByType(w, "hpfserve_jobs_submitted_total",
+		"Jobs admitted to the queue, by job type.", mt.submitted)
 
 	fmt.Fprintln(w, "# HELP hpfserve_jobs_rejected_total Jobs rejected at admission, by reason.")
 	fmt.Fprintln(w, "# TYPE hpfserve_jobs_rejected_total counter")
-	reasons := make([]string, 0, len(mt.rejected))
-	for r := range mt.rejected {
-		reasons = append(reasons, r)
-	}
-	sort.Strings(reasons)
-	for _, r := range reasons {
+	for _, r := range sortedKeys(mt.rejected) {
 		fmt.Fprintf(w, "hpfserve_jobs_rejected_total{reason=%q} %d\n", r, mt.rejected[r])
 	}
 
-	fmt.Fprintln(w, "# HELP hpfserve_jobs_completed_total Jobs finished successfully.")
-	fmt.Fprintln(w, "# TYPE hpfserve_jobs_completed_total counter")
-	fmt.Fprintf(w, "hpfserve_jobs_completed_total %d\n", mt.completed)
+	writeCounterByType(w, "hpfserve_jobs_completed_total",
+		"Jobs finished successfully, by job type.", mt.completed)
 
-	fmt.Fprintln(w, "# HELP hpfserve_jobs_failed_total Jobs that ended in error.")
-	fmt.Fprintln(w, "# TYPE hpfserve_jobs_failed_total counter")
-	fmt.Fprintf(w, "hpfserve_jobs_failed_total %d\n", mt.failed)
+	writeCounterByType(w, "hpfserve_jobs_failed_total",
+		"Jobs that ended in error, by job type.", mt.failed)
 
 	fmt.Fprintln(w, "# HELP hpfserve_queue_depth Jobs waiting for a worker.")
 	fmt.Fprintln(w, "# TYPE hpfserve_queue_depth gauge")
@@ -184,10 +233,16 @@ func (mt *Metrics) WriteProm(w io.Writer) {
 	fmt.Fprintln(w, "# TYPE hpfserve_batches_total counter")
 	fmt.Fprintf(w, "hpfserve_batches_total %d\n", mt.batches)
 
-	fmt.Fprintln(w, "# HELP hpfserve_stage_seconds Wall-clock latency per lifecycle stage.")
+	fmt.Fprintln(w, "# HELP hpfserve_stage_seconds Wall-clock latency per lifecycle stage, by job type.")
 	fmt.Fprintln(w, "# TYPE hpfserve_stage_seconds histogram")
-	mt.queueWait.write(w, "hpfserve_stage_seconds", `stage="queue",`)
-	mt.runWall.write(w, "hpfserve_stage_seconds", `stage="solve",`)
+	for _, jt := range sortedKeys(mt.queueWait) {
+		mt.queueWait[jt].write(w, "hpfserve_stage_seconds",
+			fmt.Sprintf("stage=\"queue\",job_type=%q,", jt))
+	}
+	for _, jt := range sortedKeys(mt.runWall) {
+		mt.runWall[jt].write(w, "hpfserve_stage_seconds",
+			fmt.Sprintf("stage=\"solve\",job_type=%q,", jt))
+	}
 
 	fmt.Fprintln(w, "# HELP hpfserve_batch_occupancy Jobs coalesced per dispatched batch.")
 	fmt.Fprintln(w, "# TYPE hpfserve_batch_occupancy histogram")

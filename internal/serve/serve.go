@@ -26,6 +26,7 @@ import (
 	"hpfcg/internal/comm"
 	"hpfcg/internal/core"
 	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/report"
 	"hpfcg/internal/sparse"
 	"hpfcg/internal/topology"
 )
@@ -186,7 +187,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	s.jobs[j.ID] = j
 	s.queue = append(s.queue, j)
-	s.met.submit()
+	s.met.submit(spec.jobType())
 	s.met.setGauges(len(s.queue), s.inflight)
 	s.cond.Broadcast()
 	return j, nil
@@ -335,7 +336,7 @@ func (s *Scheduler) nextBatch() []*Job {
 	for i, j := range batch {
 		waits[i] = now.Sub(j.submitted).Seconds()
 	}
-	s.met.dispatch(len(batch), waits)
+	s.met.dispatch(head.Spec.jobType(), len(batch), waits)
 	return batch
 }
 
@@ -352,6 +353,13 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 
 	if spec.batchable() && s.reg != nil {
 		s.runBatchRegistry(batch)
+		return
+	}
+
+	if spec.Method == "hpcg" {
+		// Registry disabled: prepare the stencil problem per dispatch
+		// on the worker's cached machine.
+		s.runBatchHPCG(machines, batch)
 		return
 	}
 
@@ -403,7 +411,40 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		s.failAll(live, err)
 		return
 	}
-	s.finishBatch(live, out, false)
+	s.finishBatch(live, out, false, 0)
+}
+
+// runBatchHPCG is the registry-less hpcg path: prepare the stencil
+// problem on the worker's cached machine and solve the coalesced
+// right-hand sides in one SPMD run.
+func (s *Scheduler) runBatchHPCG(machines map[string]*comm.Machine, batch []*Job) {
+	spec := batch[0].Spec
+	topo, err := topology.ByName(spec.Topology)
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+	key := machineKey(spec.NP, spec.Topology)
+	m, ok := machines[key]
+	if !ok {
+		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		machines[key] = m
+	}
+	pr, err := hpfexec.PrepareMG(m, spec.MG.spec())
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+	live, rhs, opts := s.resolveRHS(batch, pr.N())
+	if len(live) == 0 {
+		return
+	}
+	out, err := pr.SolveHPCGBatch(rhs, opts)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	s.finishBatch(live, out, false, pr.MGLevels())
 }
 
 // resolveRHS materializes each job's right-hand side; length
@@ -442,7 +483,24 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 	}
 	entry, hit := s.reg.Get(spec.planKey(hash))
 	var pr *hpfexec.Prepared
-	if !hit {
+	switch {
+	case hit:
+	case spec.Method == "hpcg":
+		// Stencil jobs carry no matrix: prepare the multigrid hierarchy
+		// on a plan-owned machine and cache the handle like any other
+		// plan. A warm hit rebinds the hierarchy — zero modeled setup.
+		topo, err := topology.ByName(spec.Topology)
+		if err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		if pr, err = hpfexec.PrepareMG(m, spec.MG.spec()); err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		entry, _ = s.reg.Put(spec.planKey(hash), pr)
+	default:
 		if A == nil {
 			if A, err = spec.buildMatrix(); err != nil {
 				s.failAll(batch, fmt.Errorf("matrix: %w", err))
@@ -493,13 +551,18 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 		s.failAll(live, err)
 		return
 	}
-	s.finishBatch(live, out, warm)
+	s.finishBatch(live, out, warm, pr.MGLevels())
 }
 
 // finishBatch records model-time metrics and finishes every job of a
-// completed batch solve.
-func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool) {
+// completed batch solve. levels > 0 marks an hpcg batch, which also
+// carries the HPCG figure of merit (modeled GFLOP/s of the run).
+func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool, levels int) {
 	s.met.addModel(out.Run.ModelTime, out.Run.CommTime(), out.SetupModelTime)
+	var gflops float64
+	if levels > 0 {
+		gflops = report.GFlopRate(out.Run.TotalFlops, out.Run.ModelTime)
+	}
 	for k, j := range live {
 		r := out.Results[k]
 		s.finishJob(j, &JobResult{
@@ -516,6 +579,8 @@ func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool
 			CommTime:       out.Run.CommTime(),
 			BatchSize:      len(live),
 			PlanCacheHit:   warm,
+			Levels:         levels,
+			ModelGFlops:    gflops,
 		}, nil)
 	}
 }
@@ -543,5 +608,5 @@ func (s *Scheduler) finishJob(j *Job, res *JobResult, err error) {
 	s.met.setGauges(len(s.queue), s.inflight)
 	close(j.done)
 	s.mu.Unlock()
-	s.met.finish(err == nil, now.Sub(j.started).Seconds())
+	s.met.finish(j.Spec.jobType(), err == nil, now.Sub(j.started).Seconds())
 }

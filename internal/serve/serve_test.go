@@ -184,8 +184,8 @@ func TestValidation(t *testing.T) {
 	s := New(Options{Workers: 1, MaxNP: 8})
 	defer s.Drain(testCtx(t))
 	bad := []JobSpec{
-		{},                                        // no matrix
-		{Matrix: "laplace1d:32", NP: 99},          // np too big
+		{},                               // no matrix
+		{Matrix: "laplace1d:32", NP: 99}, // np too big
 		{Matrix: "laplace1d:32", Layout: "weird"}, // unknown layout
 		{Matrix: "laplace1d:32", Method: "gmres"}, // unsupported method
 		{Matrix: "laplace1d:32", Topology: "x"},   // unknown topology
@@ -487,13 +487,13 @@ func TestMetricsExposition(t *testing.T) {
 	s.Metrics().WriteProm(&buf)
 	out := buf.String()
 	for _, want := range []string{
-		"hpfserve_jobs_submitted_total 1",
-		"hpfserve_jobs_completed_total 1",
+		`hpfserve_jobs_submitted_total{job_type="cg"} 1`,
+		`hpfserve_jobs_completed_total{job_type="cg"} 1`,
 		"hpfserve_queue_depth 0",
 		"hpfserve_inflight_jobs 0",
 		"hpfserve_batches_total 1",
-		`hpfserve_stage_seconds_bucket{stage="queue",le="+Inf"} 1`,
-		`hpfserve_stage_seconds_bucket{stage="solve",le="+Inf"} 1`,
+		`hpfserve_stage_seconds_bucket{stage="queue",job_type="cg",le="+Inf"} 1`,
+		`hpfserve_stage_seconds_bucket{stage="solve",job_type="cg",le="+Inf"} 1`,
 		`hpfserve_batch_occupancy_bucket{le="1"} 1`,
 		`hpfserve_model_seconds_total{kind="makespan"}`,
 		`hpfserve_model_seconds_total{kind="comm"}`,

@@ -115,4 +115,3 @@ func fillResult(res *JobResult, r *hpfexec.Result) {
 		res.ModelTime = r.Run.ModelTime
 	}
 }
-
