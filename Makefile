@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke mg-smoke
+.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke mg-smoke mfree-smoke
 
 all: check
 
@@ -29,11 +29,13 @@ test:
 # submissions, scatters sweeps and merges metrics scrapes across
 # goroutines, so internal/cluster joins the pass. The multigrid
 # V-cycle shares smoother scratch and inspector ghost buffers across
-# all ranks of a run, so internal/mg joins the pass.
+# all ranks of a run, so internal/mg joins the pass. The matrix-free
+# halo exchange moves pooled plane buffers between rank goroutines every
+# iteration, so internal/mfree joins the pass.
 race:
-	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/... ./internal/mg/...
+	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/... ./internal/mg/... ./internal/mfree/...
 
-check: build vet test race e23-smoke mg-smoke
+check: build vet test race e23-smoke mg-smoke mfree-smoke
 
 # Quick pass over the communication-avoiding s-step path: the E23
 # tables exercise the matrix-powers kernel, the batched Gram recovery,
@@ -48,10 +50,17 @@ mg-smoke:
 	$(GO) run ./cmd/hpfrun -hpcg 6,6,6 -np 4 > /dev/null
 	$(GO) run ./cmd/cgbench -exp E24 -quick > /dev/null
 
+# Quick pass over the matrix-free stencil path: an assembly-free solve
+# through hpfrun (geometric halo, zero modeled setup) plus the E25
+# sweep with its enforced bit-identity and setup-elimination claims.
+mfree-smoke:
+	$(GO) run ./cmd/hpfrun -stencil 5pt:32,24 -np 4 > /dev/null
+	$(GO) run ./cmd/cgbench -exp E25 -quick > /dev/null
+
 # Modeled-machine benchmarks (send path allocation counts included),
 # plus the E19 communication-avoidance, E20 resilience, E21 solver-
-# service, E22 cluster, E23 s-step and E24 HPCG smoke runs with JSON
-# snapshots for regression diffing.
+# service, E22 cluster, E23 s-step, E24 HPCG and E25 matrix-free smoke
+# runs with JSON snapshots for regression diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
@@ -60,6 +69,7 @@ bench:
 	$(GO) run ./cmd/cgbench -exp E22 -quick -json BENCH_E22_quick.json
 	$(GO) run ./cmd/cgbench -exp E23 -quick -json BENCH_E23_quick.json
 	$(GO) run ./cmd/cgbench -exp E24 -quick -json BENCH_E24_quick.json
+	$(GO) run ./cmd/cgbench -exp E25 -quick -json BENCH_E25_quick.json
 
 # End-to-end service check: start hpfserve on a loopback port, submit a
 # job to it over HTTP, assert convergence.

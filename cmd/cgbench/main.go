@@ -34,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1996, "matrix generator seed")
 		sstep    = flag.Int("sstep", 0, "restrict E23's s-step sweep to one blocking factor (0 = sweep 1,2,4,8)")
 		hpcg     = flag.String("hpcg", "", "restrict E24's per-rank brick sweep to one nx,ny,nz size (empty = full sweep)")
+		mfreeArg = flag.String("mfree", "", `restrict E25's stencil sweep to one spec, "5pt:nx,ny" or "27pt:nx,ny,nz" (empty = full sweep)`)
 		faultStr = flag.String("fault", "", `fault spec injected into every machine, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.SStep = *sstep
 	cfg.HPCG = *hpcg
+	cfg.MFree = *mfreeArg
 	t, err := topology.ByName(*topo)
 	if err != nil {
 		fatal(err)

@@ -6,17 +6,26 @@
 // discretisation A (the 5-point Laplacian, h=1):
 //
 //   - explicit Euler: u += -dt·A·u. One matrix product per step; the
-//     product uses the inspector-executor ghost exchange, so each step
-//     moves only the halo. Stability caps dt at ~1/λmax(A).
+//     product moves only the halo. Stability caps dt at ~1/λmax(A).
 //   - implicit Euler: (I + dt·A)·u_new = u. One distributed CG solve per
 //     step; unconditionally stable, so dt can be 10x larger here (any larger also works, at accuracy cost).
 //
-// The example verifies both integrators against each other, prints
-// their communication footprints, and shows implicit Euler's larger
-// steps paying for the CG iterations.
+// Both operators come from the selected backend (-backend):
+//
+//   - mfree (default): matrix-free stencil operators. Nothing is ever
+//     assembled — the implicit matrix I + dt·A is just the coefficient
+//     pair (1+4dt, -dt), and the halo schedule falls out of the slab
+//     geometry with no inspector exchange.
+//   - assembled: CSR matrices behind the inspector-executor ghost
+//     exchange, the paper's original pipeline.
+//
+// The two backends are bit-identical per apply, so the physics (and the
+// integrator cross-check below) cannot tell them apart; only the setup
+// cost differs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -25,7 +34,7 @@ import (
 	"hpfcg/internal/core"
 	"hpfcg/internal/darray"
 	"hpfcg/internal/dist"
-	"hpfcg/internal/sparse"
+	"hpfcg/internal/mfree"
 	"hpfcg/internal/spmv"
 	"hpfcg/internal/topology"
 )
@@ -37,8 +46,14 @@ const (
 )
 
 func main() {
-	A := sparse.Laplace2D(nx, nx) // -∇² with h=1, Dirichlet boundary
-	n := A.NRows
+	backend := flag.String("backend", "mfree",
+		"operator backend: mfree (matrix-free stencil) or assembled (CSR + inspector)")
+	flag.Parse()
+	if *backend != "mfree" && *backend != "assembled" {
+		log.Fatalf("unknown -backend %q (mfree, assembled)", *backend)
+	}
+
+	n := nx * nx
 
 	// Hot square in the middle of a cold plate.
 	u0 := make([]float64, n)
@@ -52,14 +67,40 @@ func main() {
 	dtExp := 0.02
 	dtImp := 10 * dtExp // first-order in time: keep dt moderate for comparison
 
-	d := dist.NewBlock(n, np)
+	// -∇² with h=1, Dirichlet boundary — and the implicit-Euler matrix
+	// I + dt·A, which matrix-free is nothing but a coefficient pair.
+	expSpec := mfree.Spec{Stencil: "5pt", Nx: nx, Ny: nx}
+	impSpec := mfree.Spec{Stencil: "5pt", Nx: nx, Ny: nx, Center: 1 + 4*dtImp, Off: -dtImp}
+
+	// makeOp builds a step operator for the chosen backend on one rank.
+	// Both run over the identical z-slab layout, so answers agree bitwise.
+	makeOp := func(p *comm.Proc, spec mfree.Spec) (spmv.Operator, dist.Dist) {
+		if *backend == "mfree" {
+			op, err := mfree.New(p, spec)
+			if err != nil {
+				panic(err)
+			}
+			return op, op.Dist()
+		}
+		A, err := spec.Assemble()
+		if err != nil {
+			panic(err)
+		}
+		brick, err := spec.Brick(np)
+		if err != nil {
+			panic(err)
+		}
+		d := brick.VectorDist()
+		return spmv.NewRowBlockCSRGhost(p, A, d), d
+	}
+
 	m := comm.NewMachine(np, topology.Hypercube{}, topology.DefaultCostParams())
 
 	var explicitU, implicitU []float64
 	var expSteps, impSteps, impIters int
 
 	expStats := m.Run(func(p *comm.Proc) {
-		op := spmv.NewRowBlockCSRGhost(p, A, d)
+		op, d := makeOp(p, expSpec)
 		u := darray.New(p, d)
 		w := darray.New(p, d)
 		u.SetGlobal(func(g int) float64 { return u0[g] })
@@ -76,16 +117,7 @@ func main() {
 	})
 
 	impStats := m.Run(func(p *comm.Proc) {
-		// I + dt·A assembled once.
-		coo := sparse.NewCOO(n, n)
-		for i := 0; i < n; i++ {
-			coo.Add(i, i, 1)
-			for k := A.RowPtr[i]; k < A.RowPtr[i+1]; k++ {
-				coo.Add(i, A.Col[k], dtImp*A.Val[k])
-			}
-		}
-		B := coo.ToCSR()
-		op := spmv.NewRowBlockCSRGhost(p, B, d)
+		op, d := makeOp(p, impSpec)
 		u := darray.New(p, d)
 		rhs := darray.New(p, d)
 		u.SetGlobal(func(g int) float64 { return u0[g] })
@@ -119,7 +151,7 @@ func main() {
 		}
 	}
 
-	fmt.Printf("heat equation on a %dx%d plate, np=%d, t=%g\n\n", nx, nx, np, tEnd)
+	fmt.Printf("heat equation on a %dx%d plate, np=%d, t=%g, backend=%s\n\n", nx, nx, np, tEnd, *backend)
 	fmt.Printf("explicit Euler: %4d steps (dt=%.2g)  model_time=%.5gs  msgs=%d  bytes=%d\n",
 		expSteps, dtExp, expStats.ModelTime, expStats.TotalMsgs, expStats.TotalBytes)
 	fmt.Printf("implicit Euler: %4d steps (dt=%.2g)  model_time=%.5gs  msgs=%d  bytes=%d  (CG iters total: %d)\n",

@@ -32,6 +32,9 @@ type Config struct {
 	// HPCG, when non-empty ("nx,ny,nz"), restricts E24's per-rank brick
 	// sweep to that single size (cgbench -hpcg).
 	HPCG string
+	// MFree, when non-empty ("5pt:nx,ny" or "27pt:nx,ny,nz"), restricts
+	// E25's global-grid sweep to that single spec (cgbench -mfree).
+	MFree string
 	// Tracer, when non-nil, is attached to every machine the
 	// experiment builds: each Machine.Run deposits a trace.Recorder on
 	// it, so any experiment gains event-level drill-down (see
@@ -103,6 +106,7 @@ var experiments = map[string]Runner{
 	"E22": E22,
 	"E23": E23,
 	"E24": E24,
+	"E25": E25,
 }
 
 // IDs lists the experiment identifiers in run order.

@@ -1,0 +1,250 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/mfree"
+	"hpfcg/internal/report"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+)
+
+// parseMFreeSpec parses cgbench's -mfree argument: "5pt:nx,ny" or
+// "27pt:nx,ny,nz".
+func parseMFreeSpec(s string) (mfree.Spec, error) {
+	kind, dims, ok := strings.Cut(s, ":")
+	var spec mfree.Spec
+	if !ok {
+		return spec, fmt.Errorf("bench: -mfree wants 5pt:nx,ny or 27pt:nx,ny,nz, got %q", s)
+	}
+	spec.Stencil = kind
+	switch kind {
+	case "5pt":
+		if _, err := fmt.Sscanf(dims, "%d,%d", &spec.Nx, &spec.Ny); err != nil {
+			return spec, fmt.Errorf("bench: -mfree 5pt wants nx,ny, got %q", dims)
+		}
+	case "27pt":
+		if _, err := fmt.Sscanf(dims, "%d,%d,%d", &spec.Nx, &spec.Ny, &spec.Nz); err != nil {
+			return spec, fmt.Errorf("bench: -mfree 27pt wants nx,ny,nz, got %q", dims)
+		}
+	default:
+		return spec, fmt.Errorf("bench: -mfree stencil %q unsupported (5pt, 27pt)", kind)
+	}
+	return spec, nil
+}
+
+// E25 — matrix-free stencil CG vs the assembled CSR executor. Both arms
+// solve the identical system on the identical brick layout: the
+// assembled arm pays generator assembly (host wall) plus the inspector
+// ghost exchange (modeled setup) before it can iterate; the matrix-free
+// arm derives its halo schedule from brick coordinates and starts
+// iterating at modeled clock zero. The claims are enforced, not
+// observed — the runner errors unless every matrix-free solution is
+// bit-identical to its assembled counterpart, matrix-free modeled setup
+// is exactly zero cold AND warm, assembled cold setup is nonzero
+// beyond one rank, and the matrix-free total never exceeds the
+// assembled total. Table 2 pins the warm-registry semantics: a second
+// batch from the same Prepared handle repeats the answer bitwise with
+// setup still exactly zero.
+func E25(cfg Config) ([]*report.Table, error) {
+	specs := []mfree.Spec{
+		{Stencil: "5pt", Nx: 32, Ny: 24},
+		{Stencil: "5pt", Nx: 64, Ny: 48},
+		{Stencil: "27pt", Nx: 10, Ny: 10, Nz: 16},
+	}
+	nps := []int{1, 2, 4, 8}
+	if cfg.Quick {
+		specs = []mfree.Spec{
+			{Stencil: "5pt", Nx: 16, Ny: 10},
+			{Stencil: "27pt", Nx: 6, Ny: 6, Nz: 8},
+		}
+		nps = []int{1, 2, 4}
+	}
+	if cfg.MFree != "" {
+		spec, err := parseMFreeSpec(cfg.MFree)
+		if err != nil {
+			return nil, err
+		}
+		specs = []mfree.Spec{spec}
+	}
+	opts := []core.Options{{Tol: 1e-8}}
+
+	// assembled runs CG over the generator-assembled CSR with the ghost
+	// executor on the SAME brick layout the matrix-free operator uses,
+	// so the two arms differ only in where the operator comes from.
+	// Returns the solution, stats, run stats, the modeled setup clock
+	// (max over ranks at the moment the executor finished its inspector
+	// exchange) and host wall seconds including assembly.
+	assembled := func(np int, spec mfree.Spec, b []float64) ([]float64, core.Stats, comm.RunStats, float64, float64, error) {
+		start := time.Now()
+		A, err := spec.Assemble()
+		if err != nil {
+			return nil, core.Stats{}, comm.RunStats{}, 0, 0, err
+		}
+		brick, err := spec.Brick(np)
+		if err != nil {
+			return nil, core.Stats{}, comm.RunStats{}, 0, 0, err
+		}
+		var x []float64
+		var st core.Stats
+		setups := make([]float64, np)
+		var solveErr error
+		rs, err := cfg.machine(np).RunChecked(func(p *comm.Proc) {
+			op := spmv.NewRowBlockCSRGhost(p, A, brick.VectorDist())
+			setups[p.Rank()] = p.Clock()
+			bv := darray.New(p, brick.VectorDist())
+			xv := darray.New(p, brick.VectorDist())
+			bv.SetGlobal(func(g int) float64 { return b[g] })
+			s, err := core.CG(p, op, bv, xv, opts[0])
+			if err != nil {
+				solveErr = err
+				return
+			}
+			full := xv.Gather()
+			if p.Rank() == 0 {
+				x, st = full, s
+			}
+		})
+		if err == nil {
+			err = solveErr
+		}
+		var setup float64
+		for _, s := range setups {
+			if s > setup {
+				setup = s
+			}
+		}
+		return x, st, rs, setup, time.Since(start).Seconds(), err
+	}
+
+	t1 := &report.Table{
+		ID:    "E25",
+		Title: "Matrix-free stencil CG vs assembled CSR on the same brick layout (tol 1e-8)",
+		Header: []string{"np", "stencil", "n", "it", "asm_setup_s", "asm_total_s",
+			"mf_total_s", "asm_wall_s", "mf_wall_s", "mem_ratio", "bits"},
+		Notes: []string{
+			"Both arms solve the identical system with the identical z-slab layout;",
+			"asm_setup_s is the assembled arm's modeled clock after the inspector ghost",
+			"exchange (the matrix-free arm's equivalent is exactly 0, cold and warm,",
+			"enforced). bits = solutions bitwise identical (enforced, with equal",
+			"iteration counts). mf_total_s <= asm_total_s is enforced; asm_wall_s",
+			"includes host-side matrix assembly, which the matrix-free arm never does.",
+			"mem_ratio = assembled CSR resident bytes / matrix-free handle bytes.",
+		},
+	}
+	for _, spec := range specs {
+		for _, np := range nps {
+			if _, err := spec.WithDefaults().Brick(np); err != nil {
+				continue // slab thinner than the machine: size not runnable at this np
+			}
+			pr, err := hpfexec.PrepareStencil(cfg.machine(np), spec)
+			if err != nil {
+				return nil, fmt.Errorf("E25 np=%d %s: %w", np, spec.Stencil, err)
+			}
+			b := sparse.RandomVector(pr.N(), cfg.Seed)
+
+			mfStart := time.Now()
+			out, err := pr.SolveStencilBatch([][]float64{b}, opts)
+			mfWall := time.Since(mfStart).Seconds()
+			if err != nil {
+				return nil, fmt.Errorf("E25 np=%d %s mfree: %w", np, spec.Stencil, err)
+			}
+			if out.SetupModelTime != 0 {
+				return nil, fmt.Errorf("E25 np=%d %s: cold matrix-free setup %g, want exactly 0",
+					np, spec.Stencil, out.SetupModelTime)
+			}
+			mfRes := out.Results[0]
+			if !mfRes.Stats.Converged {
+				return nil, fmt.Errorf("E25 np=%d %s: matrix-free CG did not converge", np, spec.Stencil)
+			}
+
+			ax, ast, ars, asmSetup, asmWall, err := assembled(np, spec, b)
+			if err != nil {
+				return nil, fmt.Errorf("E25 np=%d %s assembled: %w", np, spec.Stencil, err)
+			}
+			if np > 1 && asmSetup <= 0 {
+				return nil, fmt.Errorf("E25 np=%d %s: assembled setup %g, want > 0 (inspector not charged?)",
+					np, spec.Stencil, asmSetup)
+			}
+			if mfRes.Stats.Iterations != ast.Iterations {
+				return nil, fmt.Errorf("E25 np=%d %s: %d matrix-free iterations vs %d assembled",
+					np, spec.Stencil, mfRes.Stats.Iterations, ast.Iterations)
+			}
+			for i := range ax {
+				if mfRes.X[i] != ax[i] {
+					return nil, fmt.Errorf("E25 np=%d %s: x[%d] = %v matrix-free vs %v assembled — not bit-identical",
+						np, spec.Stencil, i, mfRes.X[i], ax[i])
+				}
+			}
+			if out.Run.ModelTime > ars.ModelTime {
+				return nil, fmt.Errorf("E25 np=%d %s: matrix-free total %g > assembled %g",
+					np, spec.Stencil, out.Run.ModelTime, ars.ModelTime)
+			}
+
+			s := spec.WithDefaults()
+			csrBytes := int64(np) * (int64(s.NNZ())*16 + int64(s.N()+1)*8)
+			t1.AddRowf(np, s.Stencil, s.N(), ast.Iterations, asmSetup, ars.ModelTime,
+				out.Run.ModelTime, asmWall, mfWall,
+				fmt.Sprintf("%.0fx", float64(csrBytes)/float64(pr.MemoryBytes())), true)
+		}
+	}
+
+	// Table 2: warm-registry semantics. A second batch from the same
+	// Prepared handle — the serving tier's plan-cache hit — must repeat
+	// the cold answer bitwise with setup still exactly zero; there was
+	// never an inspector exchange to amortize.
+	t2 := &report.Table{
+		ID:     "E25",
+		Title:  "Matrix-free warm registry: cold vs warm batches from one handle",
+		Header: []string{"np", "stencil", "cold_setup_s", "warm_setup_s", "bit_identical", "model_t_equal"},
+		Notes: []string{
+			"Unlike assembled plans (warm skips the inspector) and MG hierarchies (warm",
+			"skips level setup), the matrix-free handle has nothing to skip: setup is",
+			"exactly 0 in both columns, enforced. Warmth buys machine reuse only, and",
+			"answers stay bitwise stable across batch windows.",
+		},
+	}
+	detNPs := []int{1, 4}
+	if cfg.Quick {
+		detNPs = []int{1, 2}
+	}
+	for _, np := range detNPs {
+		spec := mfree.Spec{Stencil: "5pt", Nx: 16, Ny: 10}
+		pr, err := hpfexec.PrepareStencil(cfg.machine(np), spec)
+		if err != nil {
+			return nil, err
+		}
+		b := sparse.RandomVector(pr.N(), cfg.Seed)
+		cold, err := pr.SolveStencilBatch([][]float64{b}, opts)
+		if err != nil {
+			return nil, err
+		}
+		warm, err := pr.SolveStencilBatch([][]float64{b}, opts)
+		if err != nil {
+			return nil, err
+		}
+		if cold.SetupModelTime != 0 || warm.SetupModelTime != 0 {
+			return nil, fmt.Errorf("E25 np=%d: setup cold %g warm %g, want exactly 0/0",
+				np, cold.SetupModelTime, warm.SetupModelTime)
+		}
+		identical := true
+		for i := range cold.Results[0].X {
+			if cold.Results[0].X[i] != warm.Results[0].X[i] {
+				identical = false
+				break
+			}
+		}
+		tEqual := cold.SolveModelTime[0] == warm.SolveModelTime[0]
+		if !identical || !tEqual {
+			return nil, fmt.Errorf("E25 np=%d: warm batch diverged (bits %v, clock %v)", np, identical, tEqual)
+		}
+		t2.AddRowf(np, "5pt", cold.SetupModelTime, warm.SetupModelTime, identical, tEqual)
+	}
+	return []*report.Table{t1, t2}, nil
+}

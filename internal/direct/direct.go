@@ -146,10 +146,26 @@ func FactorCholesky(A *sparse.Dense) (*Cholesky, error) {
 
 // Solve returns x with A·x = b via the two triangular solves.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("direct: rhs length %d != %d", len(b), c.n)
+	x := make([]float64, len(b))
+	if err := c.SolveInto(x, b, make([]float64, len(b))); err != nil {
+		return nil, err
 	}
-	y := make([]float64, c.n)
+	return x, nil
+}
+
+// N returns the factored dimension.
+func (c *Cholesky) N() int { return c.n }
+
+// SolveInto solves A·x = b into dst, using scratch for the forward
+// substitution intermediate; all three slices must have length n and b
+// may alias neither output. Unlike Solve it allocates nothing, which is
+// what lets the multigrid coarsest-grid direct solve run inside a
+// zero-allocation V-cycle.
+func (c *Cholesky) SolveInto(dst, b, scratch []float64) error {
+	if len(b) != c.n || len(dst) != c.n || len(scratch) != c.n {
+		return fmt.Errorf("direct: SolveInto lengths %d/%d/%d != %d", len(dst), len(b), len(scratch), c.n)
+	}
+	y := scratch
 	for i := 0; i < c.n; i++ {
 		sum := b[i]
 		for j := 0; j < i; j++ {
@@ -157,7 +173,7 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		y[i] = sum / c.l.At(i, i)
 	}
-	x := make([]float64, c.n)
+	x := dst
 	for i := c.n - 1; i >= 0; i-- {
 		sum := y[i]
 		for j := i + 1; j < c.n; j++ {
@@ -165,5 +181,5 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] = sum / c.l.At(i, i)
 	}
-	return x, nil
+	return nil
 }

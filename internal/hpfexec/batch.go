@@ -24,6 +24,7 @@ import (
 	"hpfcg/internal/core"
 	"hpfcg/internal/darray"
 	"hpfcg/internal/hpf"
+	"hpfcg/internal/mfree"
 	"hpfcg/internal/mg"
 	"hpfcg/internal/sparse"
 	"hpfcg/internal/spmv"
@@ -116,6 +117,14 @@ type Prepared struct {
 	mgSpec   *mg.Spec
 	mgLevels int
 	mgProbs  []*mg.Problem
+
+	// Matrix-free handles (PrepareStencil) carry only an mfree spec:
+	// no matrix, no hierarchy, and — uniquely — no setup cost at all,
+	// cold or warm, because the geometric halo schedule is computed
+	// locally from brick coordinates. mfOps[r] caches rank r's operator
+	// after the first SolveStencilBatch.
+	mfSpec *mfree.Spec
+	mfOps  []*mfree.Operator
 }
 
 // Prepare validates the plan against the matrix and fixes the
@@ -139,6 +148,11 @@ func (pr *Prepared) Warm() bool { return pr.warm }
 // simple — it is a cache-pressure signal, not an allocator.
 func (pr *Prepared) MemoryBytes() int64 {
 	const intB, floatB = 8, 8
+	if pr.mfSpec != nil {
+		// Matrix-free handles hold two ghost planes per rank and a
+		// descriptor; the estimate is analytic in the spec.
+		return pr.mfSpec.ModelBytes(pr.m.NP())
+	}
 	if pr.mgSpec != nil {
 		// MG handles never materialize a matrix; the hierarchy's size
 		// is analytic in the spec.
@@ -162,6 +176,9 @@ func (pr *Prepared) Strategy() Strategy { return pr.strategy }
 
 // N returns the system size.
 func (pr *Prepared) N() int {
+	if pr.mfSpec != nil {
+		return pr.mfSpec.N()
+	}
 	if pr.mgSpec != nil {
 		fine, err := pr.mgSpec.Fine(pr.m.NP())
 		if err != nil {
@@ -205,6 +222,9 @@ func SolveCGBatch(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, rhs [][]float6
 
 // SolveBatch runs one batch of right-hand sides (see SolveCGBatch).
 func (pr *Prepared) SolveBatch(rhs [][]float64, opts []core.Options) (*BatchResult, error) {
+	if pr.mfSpec != nil {
+		return pr.SolveStencilBatch(rhs, opts)
+	}
 	if pr.mgSpec != nil {
 		return pr.SolveHPCGBatch(rhs, opts)
 	}

@@ -1,0 +1,260 @@
+package mfree
+
+import (
+	"fmt"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/grid"
+)
+
+// Operator is the matrix-free stencil executor: spmv.Operator,
+// spmv.FusedOperator and spmv.Rebindable over a slab-decomposed
+// regular grid, with no stored matrix. Each Apply exchanges the
+// geometric halo and evaluates the stencil point by point, reading
+// owned values from the local block and the two boundary planes from
+// the Halo buffers.
+//
+// Bit-identity contract: for every local row the stencil terms
+// accumulate into one scalar in ascending global column order — the
+// order a sorted CSR row stores its entries — with the identical
+// multiply-add sequence spmv.RowBlockCSRGhost performs over
+// Spec.Assemble() on the same brick layout. Flop charges match too
+// (2·nnzLocal per Apply, +2·n for the fused dot), so matrix-free and
+// assembled CG runs produce identical iterates on identical modeled
+// solve clocks; only setup differs.
+type Operator struct {
+	p        *comm.Proc
+	spec     Spec // defaulted
+	brick    grid.Brick3
+	d        dist.Irregular
+	dd       dist.Dist // d boxed once: alignment checks allocate nothing
+	halo     *Halo
+	zlo, zhi int
+	n        int
+	nnz      int
+	nnzLocal int
+}
+
+// New builds rank p's slice of the stencil operator. Construction is
+// purely local — the geometric schedule needs no collective — but New
+// is called from every rank of a run like any operator constructor.
+func New(p *comm.Proc, spec Spec) (*Operator, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	b, err := spec.Brick(p.NP())
+	if err != nil {
+		return nil, err
+	}
+	zlo, zhi := b.ZRange(p.Rank())
+	d := b.VectorDist()
+	a := &Operator{
+		p:     p,
+		spec:  spec,
+		brick: b,
+		d:     d,
+		dd:    d,
+		halo:  NewHalo(p, b),
+		zlo:   zlo,
+		zhi:   zhi,
+		n:     spec.N(),
+		nnz:   spec.NNZ(),
+	}
+	// Stored entries of the owned rows in the (never-assembled) global
+	// matrix: every in-grid stencil neighbour is one entry, whether its
+	// column is owned or ghost. Per z-plane the x/y face factors are
+	// constant, so one term per owned plane suffices.
+	for z := zlo; z < zhi; z++ {
+		zf := 1
+		if z > 0 {
+			zf++
+		}
+		if z < b.Z-1 {
+			zf++
+		}
+		if spec.Stencil == "5pt" {
+			// (3X-2) x-direction entries per plane; the diagonal is
+			// counted in the x factor, so z-neighbours add X·(zf-1).
+			a.nnzLocal += (3*b.X - 2) + b.X*(zf-1)
+		} else {
+			a.nnzLocal += (3*b.X - 2) * (3*b.Y - 2) * zf
+		}
+	}
+	return a, nil
+}
+
+// N implements spmv.Operator.
+func (a *Operator) N() int { return a.n }
+
+// NNZ implements spmv.Operator: the assembled form's entry count,
+// computed analytically.
+func (a *Operator) NNZ() int { return a.nnz }
+
+// LocalNNZ returns this rank's share of the (virtual) stored entries —
+// the load metric the flop charges are based on.
+func (a *Operator) LocalNNZ() int { return a.nnzLocal }
+
+// NGhosts returns the remote elements each Apply fetches.
+func (a *Operator) NGhosts() int { return a.halo.NGhosts() }
+
+// Spec returns the (defaulted) stencil spec.
+func (a *Operator) Spec() Spec { return a.spec }
+
+// Dist returns the operator's vector distribution — the brick's slab
+// layout callers must align operand vectors with.
+func (a *Operator) Dist() dist.Irregular { return a.d }
+
+// Rebind implements spmv.Rebindable: the warm plan-cache path swaps in
+// the new run's processor handle; buffers and geometry carry over.
+func (a *Operator) Rebind(p *comm.Proc) {
+	if p.Rank() != a.p.Rank() || p.NP() != a.p.NP() {
+		panic(fmt.Sprintf("mfree: rebind rank %d/%d onto operator built for %d/%d",
+			p.Rank(), p.NP(), a.p.Rank(), a.p.NP()))
+	}
+	a.p = p
+	a.halo.Rebind(p)
+}
+
+func (a *Operator) checkAligned(op string, x, y *darray.Vector) {
+	if !dist.Same(a.dd, x.Dist()) || !dist.Same(a.dd, y.Dist()) {
+		panic(fmt.Sprintf("mfree: %s operands not aligned with operator distribution %s", op, a.d.Name()))
+	}
+}
+
+// Apply implements spmv.Operator: exchange the geometric halo, then
+// evaluate the stencil over the owned points.
+func (a *Operator) Apply(x, y *darray.Vector) {
+	a.checkAligned("Apply", x, y)
+	xl := x.Local()
+	low, high := a.halo.Exchange(xl)
+	if a.spec.Stencil == "5pt" {
+		a.sweep5(xl, low, high, y.Local(), nil)
+	} else {
+		a.sweep27(xl, low, high, y.Local(), nil)
+	}
+	a.p.Compute(2 * a.nnzLocal)
+}
+
+// ApplyDot implements spmv.FusedOperator: the halo exchange and stencil
+// sweep of Apply with the local x·y partial accumulated in the same
+// pass (see spmv.RowBlockCSR.ApplyDot for the bit-identity argument).
+func (a *Operator) ApplyDot(x, y *darray.Vector) float64 {
+	a.checkAligned("ApplyDot", x, y)
+	xl := x.Local()
+	low, high := a.halo.Exchange(xl)
+	yl := y.Local()
+	var dot float64
+	if a.spec.Stencil == "5pt" {
+		a.sweep5(xl, low, high, yl, &dot)
+	} else {
+		a.sweep27(xl, low, high, yl, &dot)
+	}
+	a.p.Compute(2*a.nnzLocal + 2*len(yl))
+	return dot
+}
+
+// sweep5 evaluates the 5-point stencil over the owned planes. Brick
+// coordinates map to sparse.Laplace2D's grid as z = row i, x = col j
+// (Y = 1), so each point's neighbours in ascending global column order
+// are: (z-1,x), (z,x-1), self, (z,x+1), (z+1,x) — exactly a sorted CSR
+// row. dot, when non-nil, accumulates the fused x·y partial.
+func (a *Operator) sweep5(xl, low, high, yl []float64, dot *float64) {
+	nx, c, o := a.brick.X, a.spec.Center, a.spec.Off
+	li := 0
+	for z := a.zlo; z < a.zhi; z++ {
+		for x := 0; x < nx; x++ {
+			s := 0.0
+			if z > 0 {
+				if z == a.zlo {
+					s += o * low[x]
+				} else {
+					s += o * xl[li-nx]
+				}
+			}
+			if x > 0 {
+				s += o * xl[li-1]
+			}
+			s += c * xl[li]
+			if x < nx-1 {
+				s += o * xl[li+1]
+			}
+			if z < a.brick.Z-1 {
+				if z == a.zhi-1 {
+					s += o * high[x]
+				} else {
+					s += o * xl[li+nx]
+				}
+			}
+			yl[li] = s
+			if dot != nil {
+				*dot += xl[li] * s
+			}
+			li++
+		}
+	}
+}
+
+// sweep27 evaluates the 27-point stencil. The dz, dy, dx loops ascend,
+// which is ascending global index order under Brick3's numbering (x
+// fastest, z slowest) — the same sorted order the assembled CSR row
+// stores and the same nesting internal/mg's level assembly uses.
+func (a *Operator) sweep27(xl, low, high, yl []float64, dot *float64) {
+	X, Y, Z := a.brick.X, a.brick.Y, a.brick.Z
+	c, o := a.spec.Center, a.spec.Off
+	plane := X * Y
+	li := 0
+	for z := a.zlo; z < a.zhi; z++ {
+		for y := 0; y < Y; y++ {
+			for x := 0; x < X; x++ {
+				s := 0.0
+				for dz := -1; dz <= 1; dz++ {
+					zz := z + dz
+					if zz < 0 || zz >= Z {
+						continue
+					}
+					// Source plane: a ghost buffer for the one
+					// off-rank z on each side, the local block
+					// otherwise (ghost slot and local in-plane offset
+					// share the y·X+x layout).
+					var src []float64
+					base := 0
+					switch {
+					case zz < a.zlo:
+						src = low
+					case zz >= a.zhi:
+						src = high
+					default:
+						src = xl
+						base = (zz - a.zlo) * plane
+					}
+					for dy := -1; dy <= 1; dy++ {
+						yy := y + dy
+						if yy < 0 || yy >= Y {
+							continue
+						}
+						row := base + yy*X
+						for dx := -1; dx <= 1; dx++ {
+							xx := x + dx
+							if xx < 0 || xx >= X {
+								continue
+							}
+							if dz == 0 && dy == 0 && dx == 0 {
+								s += c * src[row+xx]
+							} else {
+								s += o * src[row+xx]
+							}
+						}
+					}
+				}
+				yl[li] = s
+				if dot != nil {
+					*dot += xl[li] * s
+				}
+				li++
+			}
+		}
+	}
+}

@@ -36,6 +36,13 @@ const (
 	MaxLevels      = 8
 	MaxSmooths     = 8
 	MaxDim         = 256
+
+	// MaxCoarseDirect bounds the coarsest-grid direct solve: each rank
+	// redundantly factors the whole coarsest operator densely, so the
+	// grid must be small enough that the O(N³) factor and O(N²) solves
+	// stay cheap next to a smoother sweep. Auto mode falls back to
+	// smoothing above this size instead of erroring.
+	MaxCoarseDirect = 512
 )
 
 // Spec sizes one HPCG-style problem: each rank owns an Nx × Ny × Nz
@@ -48,6 +55,12 @@ type Spec struct {
 	Nx, Ny, Nz int
 	Levels     int
 	Smooths    int
+	// Coarse selects the coarsest-grid treatment: "" (auto — a direct
+	// Cholesky solve when the coarsest grid has at most MaxCoarseDirect
+	// points, smoother sweeps otherwise), "smooth" (the original HPCG
+	// convention: smoother sweeps only), or "direct" (require the
+	// direct solve; NewProblem errors if the coarsest grid is too big).
+	Coarse string
 }
 
 // WithDefaults fills zero Levels/Smooths with the package defaults.
@@ -79,6 +92,11 @@ func (s Spec) Validate() error {
 	if s.Smooths < 1 || s.Smooths > MaxSmooths {
 		return fmt.Errorf("mg: smooths = %d outside [1, %d]", s.Smooths, MaxSmooths)
 	}
+	switch s.Coarse {
+	case "", "smooth", "direct":
+	default:
+		return fmt.Errorf("mg: coarse = %q unsupported (auto %q, smooth, direct)", s.Coarse, "")
+	}
 	return nil
 }
 
@@ -92,7 +110,11 @@ func (s Spec) Fine(np int) (grid.Brick3, error) {
 // equal keys build identical problems at equal np.
 func (s Spec) Key() string {
 	s = s.WithDefaults()
-	return fmt.Sprintf("27pt:%dx%dx%d:L%d:S%d", s.Nx, s.Ny, s.Nz, s.Levels, s.Smooths)
+	coarse := s.Coarse
+	if coarse == "" {
+		coarse = "auto"
+	}
+	return fmt.Sprintf("27pt:%dx%dx%d:L%d:S%d:C%s", s.Nx, s.Ny, s.Nz, s.Levels, s.Smooths, coarse)
 }
 
 // stencilNNZ is the exact stored-entry count of the 27-point stencil
@@ -124,6 +146,11 @@ func (s Spec) ModelBytes(np int) int64 {
 		if l+1 < depth {
 			b = b.Coarsen()
 		}
+	}
+	// A coarsest-grid direct solve caches the dense Cholesky factor on
+	// every rank (b is the coarsest brick after the loop).
+	if cn := int64(b.N()); s.Coarse != "smooth" && cn <= MaxCoarseDirect {
+		total += int64(np) * (cn*cn + 3*cn) * floatB
 	}
 	return total
 }

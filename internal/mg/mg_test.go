@@ -324,3 +324,78 @@ func TestModelBytesPositive(t *testing.T) {
 		t.Errorf("ModelBytes: small=%d big=%d", small, big)
 	}
 }
+
+// TestCoarseDirectIterationRegression guards the coarsest-grid direct
+// solve: against the same problem and tolerance, the exact bottom solve
+// must never need more PCG iterations than the smoother-only bottom —
+// and the answers of both variants must converge. This is the
+// regression fence for the "remaining depth" item the direct solve
+// closes.
+func TestCoarseDirectIterationRegression(t *testing.T) {
+	for _, np := range []int{1, 4} {
+		smooth := Spec{Nx: 4, Ny: 4, Nz: 4, Levels: 3, Coarse: "smooth"}
+		dir := Spec{Nx: 4, Ny: 4, Nz: 4, Levels: 3, Coarse: "direct"}
+		_, itSmooth, _ := solveBoth(t, np, smooth, 1e-10)
+		_, itDirect, _ := solveBoth(t, np, dir, 1e-10)
+		if itDirect > itSmooth {
+			t.Errorf("np=%d: direct coarse solve needs %d PCG iterations, smoother-only %d", np, itDirect, itSmooth)
+		}
+	}
+}
+
+// TestCoarseModeSelection: auto picks the direct solve when the
+// coarsest grid is small enough and falls back to smoothing when it is
+// not; explicit "direct" on an oversized coarsest grid is an error, not
+// a silent fallback.
+func TestCoarseModeSelection(t *testing.T) {
+	machine(2).Run(func(p *comm.Proc) {
+		pb, err := NewProblem(p, Spec{Nx: 4, Ny: 4, Nz: 4, Levels: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if !pb.CoarseDirect() {
+			t.Error("auto did not select the direct solve for a tiny coarsest grid")
+		}
+		pb, err = NewProblem(p, Spec{Nx: 4, Ny: 4, Nz: 4, Levels: 3, Coarse: "smooth"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pb.CoarseDirect() {
+			t.Error("explicit smooth still built a factor")
+		}
+		// 16×16×16 per rank at depth 1: the coarsest grid IS the fine
+		// grid (8192 points), far over MaxCoarseDirect.
+		big := Spec{Nx: 16, Ny: 16, Nz: 16, Levels: 1}
+		pb, err = NewProblem(p, big)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if pb.CoarseDirect() {
+			t.Error("auto built a dense factor over an oversized coarsest grid")
+		}
+		big.Coarse = "direct"
+		if _, err := NewProblem(p, big); err == nil {
+			t.Error("explicit direct accepted an oversized coarsest grid")
+		}
+	})
+	if err := (Spec{Nx: 4, Ny: 4, Nz: 4, Coarse: "cholesky"}).WithDefaults().Validate(); err == nil {
+		t.Error("unknown coarse mode validated")
+	}
+}
+
+// TestCoarseDirectDeterministic: the redundant bottom solve is
+// bit-identical across repeat runs (every rank factors and solves the
+// same dense system).
+func TestCoarseDirectDeterministic(t *testing.T) {
+	spec := Spec{Nx: 4, Ny: 4, Nz: 4, Levels: 3, Coarse: "direct"}
+	_, _, x0 := solveBoth(t, 4, spec, 1e-10)
+	_, _, x1 := solveBoth(t, 4, spec, 1e-10)
+	for i := range x0 {
+		if x0[i] != x1[i] {
+			t.Fatalf("x[%d] differs across runs: %v vs %v", i, x0[i], x1[i])
+		}
+	}
+}

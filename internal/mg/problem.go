@@ -10,8 +10,10 @@ import (
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/darray"
+	"hpfcg/internal/direct"
 	"hpfcg/internal/dist"
 	"hpfcg/internal/grid"
+	"hpfcg/internal/sparse"
 )
 
 // Problem is one rank's handle on a prepared HPCG-style problem. It
@@ -27,6 +29,18 @@ type Problem struct {
 	// checks on the hot path must not re-box the concrete descriptor
 	// into the interface per call.
 	fineD dist.Dist
+
+	// Coarsest-grid direct solve (nil coarseChol = smoother sweeps, the
+	// original HPCG convention). Every rank holds the same redundant
+	// dense Cholesky factor of the whole coarsest operator; the bottom
+	// of the V-cycle allgathers the coarse residual and solves it
+	// identically everywhere — deterministic, collective-aligned, and
+	// allocation-free on the preallocated buffers below.
+	coarseChol    *direct.Cholesky
+	coarseCounts  []int
+	coarseFull    []float64
+	coarseSol     []float64
+	coarseScratch []float64
 }
 
 // NewProblem builds the hierarchy for the (defaulted, validated) spec
@@ -55,8 +69,82 @@ func NewProblem(p *comm.Proc, spec Spec) (*Problem, error) {
 		}
 	}
 	pb.fineD = pb.levels[0].d
+	if err := pb.setupCoarse(); err != nil {
+		return nil, err
+	}
 	return pb, nil
 }
+
+// setupCoarse resolves the spec's coarsest-grid treatment and, when the
+// direct solve is selected, assembles the whole coarsest operator
+// densely from geometry and factors it — identically on every rank
+// (redundant, no communication), so bottom solves agree bit for bit.
+func (pb *Problem) setupCoarse() error {
+	coarse := pb.levels[len(pb.levels)-1]
+	cn := coarse.b.N()
+	switch pb.spec.Coarse {
+	case "smooth":
+		return nil
+	case "direct":
+		if cn > MaxCoarseDirect {
+			return fmt.Errorf("mg: coarse = direct needs a coarsest grid of at most %d points, got %d (deepen the hierarchy or use auto)", MaxCoarseDirect, cn)
+		}
+	default: // auto
+		if cn > MaxCoarseDirect {
+			return nil
+		}
+	}
+	b := coarse.b
+	A := sparse.NewDense(cn, cn)
+	for g := 0; g < cn; g++ {
+		x, y, z := b.Coords(g)
+		row := A.Row(g)
+		for dz := -1; dz <= 1; dz++ {
+			zz := z + dz
+			if zz < 0 || zz >= b.Z {
+				continue
+			}
+			for dy := -1; dy <= 1; dy++ {
+				yy := y + dy
+				if yy < 0 || yy >= b.Y {
+					continue
+				}
+				for dx := -1; dx <= 1; dx++ {
+					xx := x + dx
+					if xx < 0 || xx >= b.X {
+						continue
+					}
+					h := b.Index(xx, yy, zz)
+					if h == g {
+						row[h] = 26
+					} else {
+						row[h] = -1
+					}
+				}
+			}
+		}
+	}
+	chol, err := direct.FactorCholesky(A)
+	if err != nil {
+		return fmt.Errorf("mg: coarsest-grid factorization: %w", err)
+	}
+	// The redundant factor costs ~N³/3 flops on every rank, charged
+	// once at setup where the inspector exchanges are charged.
+	pb.p.Compute(cn * cn * cn / 3)
+	pb.coarseChol = chol
+	pb.coarseCounts = make([]int, pb.p.NP())
+	for r := range pb.coarseCounts {
+		pb.coarseCounts[r] = coarse.d.Count(r)
+	}
+	pb.coarseFull = make([]float64, cn)
+	pb.coarseSol = make([]float64, cn)
+	pb.coarseScratch = make([]float64, cn)
+	return nil
+}
+
+// CoarseDirect reports whether the hierarchy bottoms out in the dense
+// direct solve (false: smoother sweeps, the original HPCG convention).
+func (pb *Problem) CoarseDirect() bool { return pb.coarseChol != nil }
 
 // Spec returns the (defaulted) spec the problem was built from.
 func (pb *Problem) Spec() Spec { return pb.spec }
@@ -100,6 +188,20 @@ func (pb *Problem) vcycle(l int, rl, xl []float64) {
 	}
 	pb.p.Compute(lv.n)
 	if l == len(pb.levels)-1 {
+		if pb.coarseChol != nil {
+			// Direct bottom solve: allgather the coarse residual (every
+			// rank sees the identical full vector), solve redundantly
+			// with the cached Cholesky factor, and keep the owned
+			// slice. Deterministic and allocation-free.
+			full := pb.p.AllgatherVInto(rl, pb.coarseCounts, pb.coarseFull)
+			if err := pb.coarseChol.SolveInto(pb.coarseSol, full, pb.coarseScratch); err != nil {
+				panic(err)
+			}
+			copy(xl, pb.coarseSol[lv.lo:lv.lo+lv.n])
+			cn := pb.coarseChol.N()
+			pb.p.Compute(2 * cn * cn)
+			return
+		}
 		// Coarsest solve: the smoother alone (the HPCG convention).
 		for s := 0; s < pb.smooths; s++ {
 			lv.symgs(pb.p, rl, xl)

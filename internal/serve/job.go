@@ -11,6 +11,7 @@ import (
 
 	"hpfcg/internal/fault"
 	"hpfcg/internal/hpfexec"
+	"hpfcg/internal/mfree"
 	"hpfcg/internal/mg"
 	"hpfcg/internal/sparse"
 	"hpfcg/internal/topology"
@@ -26,11 +27,34 @@ type MGSpec struct {
 	Nz      int `json:"nz"`
 	Levels  int `json:"levels,omitempty"`
 	Smooths int `json:"smooths,omitempty"`
+	// Coarse selects the coarsest-grid treatment: "" (auto), "smooth"
+	// (HPCG-convention smoother sweeps) or "direct" (dense Cholesky).
+	Coarse string `json:"coarse,omitempty"`
 }
 
 // spec converts to the mg package's form with defaults applied.
 func (m *MGSpec) spec() mg.Spec {
-	return mg.Spec{Nx: m.Nx, Ny: m.Ny, Nz: m.Nz, Levels: m.Levels, Smooths: m.Smooths}.WithDefaults()
+	return mg.Spec{Nx: m.Nx, Ny: m.Ny, Nz: m.Nz, Levels: m.Levels, Smooths: m.Smooths, Coarse: m.Coarse}.WithDefaults()
+}
+
+// StencilSpec sizes a stencil job's matrix-free problem: the global
+// grid dimensions and the stencil coefficients. Unlike MGSpec the
+// dimensions are global — the service splits the grid into z-slabs
+// over NP ranks. Zero center and off select the canonical Laplacian
+// pair for the stencil kind.
+type StencilSpec struct {
+	// Stencil is "5pt" (2-D, nx × ny) or "27pt" (3-D, nx × ny × nz).
+	Stencil string  `json:"stencil"`
+	Nx      int     `json:"nx"`
+	Ny      int     `json:"ny"`
+	Nz      int     `json:"nz,omitempty"`
+	Center  float64 `json:"center,omitempty"`
+	Off     float64 `json:"off,omitempty"`
+}
+
+// spec converts to the mfree package's form with defaults applied.
+func (st *StencilSpec) spec() mfree.Spec {
+	return mfree.Spec{Stencil: st.Stencil, Nx: st.Nx, Ny: st.Ny, Nz: st.Nz, Center: st.Center, Off: st.Off}.WithDefaults()
 }
 
 // JobSpec is one solve request. The matrix comes either from a
@@ -49,10 +73,14 @@ type JobSpec struct {
 	Layout string `json:"layout,omitempty"`
 	// Method is the solver: "cg" (the default) solves the job's matrix;
 	// "hpcg" runs V-cycle multigrid-preconditioned CG on the 27-point
-	// stencil sized by MG (no matrix field applies).
+	// stencil sized by MG; "stencil" runs matrix-free CG on the
+	// geometric stencil sized by Stencil (no matrix field applies to
+	// either generated problem).
 	Method string `json:"method,omitempty"`
 	// MG sizes the stencil problem of an hpcg job.
 	MG *MGSpec `json:"mg,omitempty"`
+	// Stencil sizes the matrix-free problem of a stencil job.
+	Stencil *StencilSpec `json:"stencil,omitempty"`
 	// SStep is the communication-avoiding blocking factor: 0 (or
 	// absent) lets the cost model choose per machine shape, 1 forces
 	// plain CG, 2..hpfexec.MaxSStep fixes the factor (CSR layouts
@@ -133,12 +161,19 @@ func (sp *JobSpec) validate(maxNP int) error {
 		if sp.MG != nil {
 			return fieldErr("mg", "only applies to hpcg jobs")
 		}
+		if sp.Stencil != nil {
+			return fieldErr("stencil", "only applies to stencil jobs")
+		}
 	case "hpcg":
 		if err := sp.validateMG(); err != nil {
 			return err
 		}
+	case "stencil":
+		if err := sp.validateStencil(); err != nil {
+			return err
+		}
 	default:
-		return fieldErr("method", "unsupported %q (cg and hpcg are served)", sp.Method)
+		return fieldErr("method", "unsupported %q (cg, hpcg and stencil are served)", sp.Method)
 	}
 	valid := false
 	for _, l := range hpfexec.Layouts() {
@@ -205,6 +240,14 @@ func (sp *JobSpec) validateMG() error {
 	if sp.MG.Smooths < 0 || sp.MG.Smooths > mg.MaxSmooths {
 		return fieldErr("mg.smooths", "%d outside [0,%d] (0 selects %d)", sp.MG.Smooths, mg.MaxSmooths, mg.DefaultSmooths)
 	}
+	switch sp.MG.Coarse {
+	case "", "smooth", "direct":
+	default:
+		return fieldErr("mg.coarse", "unsupported %q (auto %q, smooth, direct)", sp.MG.Coarse, "")
+	}
+	if sp.Stencil != nil {
+		return fieldErr("stencil", "only applies to stencil jobs")
+	}
 	if sp.Matrix != "" || sp.MatrixMarket != "" {
 		return fieldErr("matrix", "does not apply to hpcg jobs (the stencil is generated)")
 	}
@@ -220,10 +263,46 @@ func (sp *JobSpec) validateMG() error {
 	return nil
 }
 
-// jobType labels the job for metrics: "cg" or "hpcg".
+// validateStencil checks the stencil job shape: the spec itself (the
+// mfree bounds, coefficient finiteness), that the grid admits a z-slab
+// per rank, and the per-matrix knobs that have no meaning for a
+// generated matrix-free problem.
+func (sp *JobSpec) validateStencil() error {
+	if sp.Stencil == nil {
+		return fieldErr("stencil", "stencil jobs need the stencil block ({stencil,nx,ny,...})")
+	}
+	st := sp.Stencil.spec()
+	if err := st.Validate(); err != nil {
+		return fieldErr("stencil", "%v", err)
+	}
+	if sp.NP >= 1 {
+		if _, err := st.Brick(sp.NP); err != nil {
+			return fieldErr("stencil", "%v", err)
+		}
+	}
+	if sp.MG != nil {
+		return fieldErr("mg", "only applies to hpcg jobs")
+	}
+	if sp.Matrix != "" || sp.MatrixMarket != "" {
+		return fieldErr("matrix", "does not apply to stencil jobs (the operator is never assembled)")
+	}
+	if sp.SStep != 0 {
+		return fieldErr("sstep", "does not apply to stencil jobs")
+	}
+	if sp.Fault != "" || sp.Resilient {
+		return fieldErr("fault", "fault injection and resilient mode are not supported for stencil jobs")
+	}
+	if sp.Trace || sp.TimeoutMS != 0 {
+		return fieldErr("trace", "tracing and timeouts are not supported for stencil jobs")
+	}
+	return nil
+}
+
+// jobType labels the job for metrics: "cg", "hpcg" or "stencil".
 func (sp *JobSpec) jobType() string {
-	if sp.Method == "hpcg" {
-		return "hpcg"
+	switch sp.Method {
+	case "hpcg", "stencil":
+		return sp.Method
 	}
 	return "cg"
 }
@@ -251,6 +330,9 @@ type batchKey struct {
 func (sp *JobSpec) key() batchKey {
 	if sp.Method == "hpcg" {
 		return batchKey{matrix: "hpcg:" + sp.MG.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology}
+	}
+	if sp.Method == "stencil" {
+		return batchKey{matrix: "stencil:" + sp.Stencil.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology}
 	}
 	mat := "gen:" + sp.Matrix
 	if sp.MatrixMarket != "" {
@@ -283,6 +365,10 @@ func (sp *JobSpec) contentHashMatrix() (string, *sparse.CSR, error) {
 		// no matrix is ever assembled.
 		return sparse.HashGeneratorSpec("hpcg:" + sp.MG.spec().Key()), nil, nil
 	}
+	if sp.Method == "stencil" {
+		// Likewise matrix-free: the operator's content is its spec.
+		return sparse.HashGeneratorSpec("stencil:" + sp.Stencil.spec().Key()), nil, nil
+	}
 	if sp.MatrixMarket != "" {
 		A, err := sparse.ReadMatrixMarket(strings.NewReader(sp.MatrixMarket))
 		if err != nil {
@@ -301,6 +387,9 @@ func (sp *JobSpec) planKey(hash string) string {
 	if sp.Method == "hpcg" {
 		s := sp.MG.spec()
 		return fmt.Sprintf("%s|hpcg|%d|%s|L%d:S%d", hash, sp.NP, sp.Topology, s.Levels, s.Smooths)
+	}
+	if sp.Method == "stencil" {
+		return fmt.Sprintf("%s|stencil|%d|%s", hash, sp.NP, sp.Topology)
 	}
 	return fmt.Sprintf("%s|%s|%d|%s|s%d", hash, sp.Layout, sp.NP, sp.Topology, sp.SStep)
 }

@@ -63,8 +63,8 @@ func occupancyBuckets() []float64 {
 }
 
 // Metrics is the service's live counter set. Job-scoped families carry
-// a job_type label ("cg" | "hpcg") so operators can tell stencil
-// traffic from general sparse traffic on one scrape.
+// a job_type label ("cg" | "hpcg" | "stencil") so operators can tell
+// generated-stencil traffic from general sparse traffic on one scrape.
 type Metrics struct {
 	mu sync.Mutex
 
@@ -192,7 +192,7 @@ func sortedKeys[V any](m map[string]V) []string {
 func writeCounterByType(w io.Writer, name, help string, m map[string]uint64) {
 	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
 	fmt.Fprintf(w, "# TYPE %s counter\n", name)
-	seeded := map[string]uint64{"cg": 0, "hpcg": 0}
+	seeded := map[string]uint64{"cg": 0, "hpcg": 0, "stencil": 0}
 	for jt, n := range m {
 		seeded[jt] = n
 	}

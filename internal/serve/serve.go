@@ -363,6 +363,11 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		return
 	}
 
+	if spec.Method == "stencil" {
+		s.runBatchStencil(machines, batch)
+		return
+	}
+
 	A, err := spec.buildMatrix()
 	if err != nil {
 		s.failAll(batch, fmt.Errorf("matrix: %w", err))
@@ -447,6 +452,40 @@ func (s *Scheduler) runBatchHPCG(machines map[string]*comm.Machine, batch []*Job
 	s.finishBatch(live, out, false, pr.MGLevels())
 }
 
+// runBatchStencil is the registry-less stencil path: build the
+// matrix-free handle on the worker's cached machine — no assembly, no
+// inspector, zero modeled setup even on this cold path — and solve the
+// coalesced right-hand sides in one SPMD run.
+func (s *Scheduler) runBatchStencil(machines map[string]*comm.Machine, batch []*Job) {
+	spec := batch[0].Spec
+	topo, err := topology.ByName(spec.Topology)
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+	key := machineKey(spec.NP, spec.Topology)
+	m, ok := machines[key]
+	if !ok {
+		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		machines[key] = m
+	}
+	pr, err := hpfexec.PrepareStencil(m, spec.Stencil.spec())
+	if err != nil {
+		s.failAll(batch, err)
+		return
+	}
+	live, rhs, opts := s.resolveRHS(batch, pr.N())
+	if len(live) == 0 {
+		return
+	}
+	out, err := pr.SolveStencilBatch(rhs, opts)
+	if err != nil {
+		s.failAll(live, err)
+		return
+	}
+	s.finishBatch(live, out, false, 0)
+}
+
 // resolveRHS materializes each job's right-hand side; length
 // mismatches fail only that job.
 func (s *Scheduler) resolveRHS(batch []*Job, n int) (live []*Job, rhs [][]float64, opts []core.Options) {
@@ -496,6 +535,22 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 		}
 		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
 		if pr, err = hpfexec.PrepareMG(m, spec.MG.spec()); err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		entry, _ = s.reg.Put(spec.planKey(hash), pr)
+	case spec.Method == "stencil":
+		// Matrix-free jobs carry no matrix either: the handle holds only
+		// the spec and per-rank geometric schedules, so caching it buys
+		// machine reuse and bit-stable warm answers — there is no setup
+		// cost to amortize (cold and warm modeled setup are both zero).
+		topo, err := topology.ByName(spec.Topology)
+		if err != nil {
+			s.failAll(batch, err)
+			return
+		}
+		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
+		if pr, err = hpfexec.PrepareStencil(m, spec.Stencil.spec()); err != nil {
 			s.failAll(batch, err)
 			return
 		}
