@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke mg-smoke mfree-smoke
+.PHONY: all build vet test race check bench quick serve-smoke cluster-smoke e23-smoke mg-smoke mfree-smoke pipelined-smoke docs-lint
 
 all: check
 
@@ -35,7 +35,13 @@ test:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/trace/... ./internal/core/... ./internal/spmv/... ./internal/fault/... ./internal/hpfexec/... ./internal/serve/... ./internal/cluster/... ./internal/mg/... ./internal/mfree/...
 
-check: build vet test race e23-smoke mg-smoke mfree-smoke
+check: build vet test race e23-smoke mg-smoke mfree-smoke pipelined-smoke docs-lint
+
+# Documentation floor: every package carries a package doc comment, and
+# the strict packages (internal/comm, internal/core, internal/hpfexec)
+# document every exported identifier. See cmd/doclint.
+docs-lint:
+	$(GO) run ./cmd/doclint
 
 # Quick pass over the communication-avoiding s-step path: the E23
 # tables exercise the matrix-powers kernel, the batched Gram recovery,
@@ -57,10 +63,18 @@ mfree-smoke:
 	$(GO) run ./cmd/hpfrun -stencil 5pt:32,24 -np 4 > /dev/null
 	$(GO) run ./cmd/cgbench -exp E25 -quick > /dev/null
 
+# Quick pass over the pipelined overlap path: a hidden-round solve
+# through hpfrun (overlap books printed) plus the E26 latency-regime
+# map with its enforced pipelined-beats-plain and frontier claims.
+pipelined-smoke:
+	$(GO) run ./cmd/hpfrun -np 4 -matrix banded:256:4 -demo csr -pipelined > /dev/null
+	$(GO) run ./cmd/cgbench -exp E26 -quick > /dev/null
+
 # Modeled-machine benchmarks (send path allocation counts included),
 # plus the E19 communication-avoidance, E20 resilience, E21 solver-
-# service, E22 cluster, E23 s-step, E24 HPCG and E25 matrix-free smoke
-# runs with JSON snapshots for regression diffing.
+# service, E22 cluster, E23 s-step, E24 HPCG, E25 matrix-free and E26
+# pipelined-overlap smoke runs with JSON snapshots for regression
+# diffing.
 bench:
 	$(GO) test -bench . -benchmem -run NONE ./internal/comm/...
 	$(GO) run ./cmd/cgbench -exp E19 -quick -json BENCH_E19_quick.json
@@ -70,6 +84,7 @@ bench:
 	$(GO) run ./cmd/cgbench -exp E23 -quick -json BENCH_E23_quick.json
 	$(GO) run ./cmd/cgbench -exp E24 -quick -json BENCH_E24_quick.json
 	$(GO) run ./cmd/cgbench -exp E25 -quick -json BENCH_E25_quick.json
+	$(GO) run ./cmd/cgbench -exp E26 -quick -json BENCH_E26_quick.json
 
 # End-to-end service check: start hpfserve on a loopback port, submit a
 # job to it over HTTP, assert convergence.

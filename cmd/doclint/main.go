@@ -1,0 +1,170 @@
+// Command doclint enforces the repository's documentation floor, and
+// `make check` fails on what it finds. Two rules:
+//
+//  1. Every Go package must carry a package doc comment (on any
+//     non-test file) — the one-paragraph answer to "what is this
+//     subsystem and why does it exist".
+//  2. In the strict packages — the communication machine
+//     (internal/comm), the solver recurrences (internal/core) and the
+//     directive executor (internal/hpfexec) — every exported top-level
+//     identifier and every exported method must carry a doc comment.
+//     These are the packages other layers program against; an exported
+//     name without a contract is an API nobody can hold.
+//
+// Run from the module root: `go run ./cmd/doclint` (the docs-lint
+// Makefile target). Exit status 1 lists every violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// strictPkgs lists the directories held to rule 2.
+var strictPkgs = map[string]bool{
+	"internal/comm":    true,
+	"internal/core":    true,
+	"internal/hpfexec": true,
+}
+
+func main() {
+	dirs := map[string][]string{} // dir -> non-test .go files
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" || strings.HasPrefix(name, ".") && path != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		dir := filepath.ToSlash(filepath.Dir(path))
+		dirs[dir] = append(dirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "doclint:", err)
+		os.Exit(1)
+	}
+
+	var problems []string
+	names := make([]string, 0, len(dirs))
+	for dir := range dirs {
+		names = append(names, dir)
+	}
+	sort.Strings(names)
+	for _, dir := range names {
+		fset := token.NewFileSet()
+		hasPkgDoc := false
+		for _, file := range dirs[dir] {
+			f, err := parser.ParseFile(fset, file, nil, parser.ParseComments)
+			if err != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+				continue
+			}
+			if f.Doc != nil {
+				hasPkgDoc = true
+			}
+			if strictPkgs[dir] {
+				problems = append(problems, lintExported(fset, f)...)
+			}
+		}
+		if !hasPkgDoc {
+			problems = append(problems, fmt.Sprintf("%s: package has no package doc comment", dir))
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "doclint:", p)
+		}
+		fmt.Fprintf(os.Stderr, "doclint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// lintExported reports every exported top-level identifier in f that
+// lacks a doc comment. A grouped const/var/type declaration's doc
+// covers all its specs; a spec's own doc covers just that spec.
+func lintExported(fset *token.FileSet, f *ast.File) []string {
+	var problems []string
+	missing := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		problems = append(problems, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() || d.Doc != nil {
+				continue
+			}
+			kind, name := "function", d.Name.Name
+			if d.Recv != nil {
+				recv := receiverName(d.Recv)
+				if recv != "" && !ast.IsExported(recv) {
+					continue // method on an unexported type: internal surface
+				}
+				kind, name = "method", recv+"."+d.Name.Name
+			}
+			missing(d.Pos(), kind, name)
+		case *ast.GenDecl:
+			if d.Doc != nil {
+				continue
+			}
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if sp.Name.IsExported() && sp.Doc == nil && sp.Comment == nil {
+						missing(sp.Pos(), "type", sp.Name.Name)
+					}
+				case *ast.ValueSpec:
+					if sp.Doc != nil || sp.Comment != nil {
+						continue
+					}
+					for _, name := range sp.Names {
+						if name.IsExported() {
+							kind := "var"
+							if d.Tok == token.CONST {
+								kind = "const"
+							}
+							missing(name.Pos(), kind, name.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return problems
+}
+
+// receiverName extracts the receiver's base type name ("" if unnamed).
+func receiverName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	for {
+		switch tt := t.(type) {
+		case *ast.StarExpr:
+			t = tt.X
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.Ident:
+			return tt.Name
+		default:
+			return ""
+		}
+	}
+}

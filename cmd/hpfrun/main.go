@@ -75,6 +75,7 @@ func main() {
 		faultStr   = flag.String("fault", "", `fault spec, e.g. "crash:rank=2@t=0.5ms,straggle:rank=1,x=4"`)
 		resilient  = flag.Bool("resilient", false, "survive injected crashes via checkpoint/restart (SolveCGResilient)")
 		sstep      = flag.Int("sstep", -1, "s-step CG blocking factor: -1 = plain CG, 0 = auto from the cost model, s >= 1 fixed (CSR layouts)")
+		pipelined  = flag.Bool("pipelined", false, "pipelined CG: hide the per-iteration allreduce behind the mat-vec (CSR layouts and -stencil; excludes -sstep, -resilient, -hpcg)")
 		ckpt       = flag.Int("ckpt", 10, "checkpoint every N iterations (with -resilient)")
 		restarts   = flag.Int("restarts", 3, "max restart attempts after failures (with -resilient)")
 		hpcg       = flag.String("hpcg", "", "solve the HPCG 27-point stencil instead of a directive program: per-rank brick as nx,ny,nz (combines with -np, -tol, -topology)")
@@ -84,12 +85,22 @@ func main() {
 	)
 	flag.Parse()
 
+	if *pipelined {
+		switch {
+		case *sstep >= 0:
+			fatal(fmt.Errorf("-pipelined does not combine with -sstep (overlap and blocking attack the same latency term)"))
+		case *resilient:
+			fatal(fmt.Errorf("-pipelined does not combine with -resilient (checkpointing follows the plain recurrence)"))
+		case *hpcg != "":
+			fatal(fmt.Errorf("-pipelined does not combine with -hpcg (the V-cycle is the inner solve)"))
+		}
+	}
 	if *hpcg != "" {
 		runHPCG(*hpcg, *np, *topoName, *tol, *levels, *smooths)
 		return
 	}
 	if *stencil != "" {
-		runStencil(*stencil, *np, *topoName, *tol)
+		runStencil(*stencil, *np, *topoName, *tol, *pipelined)
 		return
 	}
 
@@ -186,6 +197,10 @@ func main() {
 		for _, pf := range rres.Failures {
 			fmt.Printf("          %v\n", pf)
 		}
+	case *pipelined && *timeout > 0:
+		res, err = hpfexec.SolveCGPipelinedTimeout(m, plan, A, b, core.Options{Tol: *tol}, *timeout)
+	case *pipelined:
+		res, err = hpfexec.SolveCGPipelined(m, plan, A, b, core.Options{Tol: *tol})
 	case *sstep >= 0 && *timeout > 0:
 		res, err = hpfexec.SolveCGSStepTimeout(m, plan, A, b, core.Options{Tol: *tol}, *sstep, *timeout)
 	case *sstep >= 0:
@@ -201,6 +216,11 @@ func main() {
 	if *sstep >= 0 {
 		fmt.Printf("sstep:    s=%d (requested %d) guard_trips=%d\n",
 			res.Strategy.SStep, *sstep, res.Stats.Replacements)
+	}
+	if *pipelined {
+		hidden, exposed := res.Run.ReduceOverlap()
+		fmt.Printf("overlap:  reductions=%d hidden=%.6gs exposed=%.6gs guard_trips=%d\n",
+			res.Stats.Reductions, hidden, exposed, res.Stats.Replacements)
 	}
 
 	fmt.Printf("matrix:   n=%d nnz=%d (%s)\n", n, nz, matrixName)
@@ -261,10 +281,11 @@ func runHPCG(brick string, np int, topoName string, tol float64, levels, smooths
 	}
 }
 
-// runStencil is the -stencil path: plain CG on the matrix-free stencil
+// runStencil is the -stencil path: CG on the matrix-free stencil
 // operator — nothing assembled, halo schedules derived from the slab
-// geometry, modeled setup exactly zero.
-func runStencil(arg string, np int, topoName string, tol float64) {
+// geometry, modeled setup exactly zero. With -pipelined the solve runs
+// the overlap recurrence, the stencil application hiding the round.
+func runStencil(arg string, np int, topoName string, tol float64, pipelined bool) {
 	spec := mfree.Spec{}
 	kind, dims, ok := strings.Cut(arg, ":")
 	if !ok {
@@ -288,7 +309,11 @@ func runStencil(arg string, np int, topoName string, tol float64) {
 		fatal(err)
 	}
 	m := comm.NewMachine(np, topo, topology.DefaultCostParams())
-	pr, err := hpfexec.PrepareStencil(m, spec)
+	prepare := hpfexec.PrepareStencil
+	if pipelined {
+		prepare = hpfexec.PrepareStencilPipelined
+	}
+	pr, err := prepare(m, spec)
 	if err != nil {
 		fatal(err)
 	}
@@ -298,6 +323,11 @@ func runStencil(arg string, np int, topoName string, tol float64) {
 		fatal(err)
 	}
 	res := out.Results[0]
+	if pipelined {
+		hidden, exposed := out.Run.ReduceOverlap()
+		fmt.Printf("overlap:  reductions=%d hidden=%.6gs exposed=%.6gs\n",
+			res.Stats.Reductions, hidden, exposed)
+	}
 	s := pr.Stencil()
 	fmt.Printf("stencil:  %s matrix-free, global %s, n=%d nnz=%d np=%d\n",
 		s.Stencil, dims, pr.N(), s.NNZ(), np)

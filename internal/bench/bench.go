@@ -107,6 +107,7 @@ var experiments = map[string]Runner{
 	"E23": E23,
 	"E24": E24,
 	"E25": E25,
+	"E26": E26,
 }
 
 // IDs lists the experiment identifiers in run order.

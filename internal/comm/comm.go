@@ -92,6 +92,13 @@ type ProcStats struct {
 	SendTime    float64 // modeled time spent in send overheads
 	WaitTime    float64 // modeled time spent waiting for messages
 	ComputeTime float64 // modeled time spent computing
+	// ReduceHiddenTime is the modeled reduction time nonblocking
+	// collectives hid behind overlapped compute; ReduceExposedTime is
+	// what their Waits still had to charge. Hidden + exposed equals the
+	// blocking cost of every waited-on IallreduceScalars, so hidden > 0
+	// means Wait charged strictly less than the blocking path would.
+	ReduceHiddenTime  float64
+	ReduceExposedTime float64
 }
 
 // RunStats summarises one Run of a Machine.
@@ -113,6 +120,18 @@ type RunStats struct {
 	// broadcast pattern (dense matrix) and a halo exchange (banded
 	// matrix) directly visible.
 	BytesMatrix [][]int64
+}
+
+// ReduceOverlap sums the nonblocking-collective accounting across
+// ranks: hidden is the modeled reduction time that overlapped compute
+// absorbed, exposed is what the Waits actually charged. Both are zero
+// for programs that only use blocking collectives.
+func (rs RunStats) ReduceOverlap() (hidden, exposed float64) {
+	for _, ps := range rs.Procs {
+		hidden += ps.ReduceHiddenTime
+		exposed += ps.ReduceExposedTime
+	}
+	return hidden, exposed
 }
 
 // CommTime returns the modeled time the busiest processor spent in
@@ -368,6 +387,9 @@ type Proc struct {
 	// owned by this rank's goroutine, so no locking is needed.
 	pool    [][]float64
 	intPool [][]int
+	// handles is the freelist of recycled nonblocking-collective
+	// handles (see IallreduceScalars), also goroutine-owned.
+	handles []*ReduceHandle
 }
 
 // Rank returns this processor's rank in [0, NP).

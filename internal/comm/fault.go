@@ -92,6 +92,7 @@ type PeerFailure struct {
 	Clock float64
 }
 
+// Error names the failed rank and the modeled time of death.
 func (e PeerFailure) Error() string {
 	return fmt.Sprintf("comm: processor %d failed at modeled t=%.6gs", e.Rank, e.Clock)
 }

@@ -1,0 +1,227 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hpfcg/internal/trace"
+)
+
+// TestIallreduceBitIdenticalToBlocking: the eager tree exchange uses
+// the exact schedule and combine order of AllreduceScalars, so the
+// reduced values must match bit for bit on every rank.
+func TestIallreduceBitIdenticalToBlocking(t *testing.T) {
+	for _, np := range testNPs {
+		blocking := make([][]float64, np)
+		nonblocking := make([][]float64, np)
+		fill := func(rank int) []float64 {
+			rng := rand.New(rand.NewSource(int64(rank) + 42))
+			xs := make([]float64, 3)
+			for i := range xs {
+				xs[i] = rng.NormFloat64()
+			}
+			return xs
+		}
+		testMachine(np).Run(func(p *Proc) {
+			xs := fill(p.Rank())
+			p.AllreduceScalars(xs, OpSum)
+			blocking[p.Rank()] = xs
+		})
+		testMachine(np).Run(func(p *Proc) {
+			xs := fill(p.Rank())
+			h := p.IallreduceScalars(xs, OpSum)
+			p.Compute(500) // some overlap, to show it does not perturb values
+			h.Wait()
+			nonblocking[p.Rank()] = xs
+		})
+		for r := 0; r < np; r++ {
+			for i := range blocking[r] {
+				if blocking[r][i] != nonblocking[r][i] {
+					t.Errorf("np=%d rank %d elem %d: blocking %v nonblocking %v",
+						np, r, i, blocking[r][i], nonblocking[r][i])
+				}
+			}
+		}
+	}
+}
+
+// TestIallreduceWaitBeforeCompute: with an empty overlap window, Wait
+// must charge exactly what the blocking reduction would have — the
+// per-rank clocks of (allreduce; iallreduce+immediate wait) match
+// (allreduce; allreduce) bit for bit.
+func TestIallreduceWaitBeforeCompute(t *testing.T) {
+	for _, np := range testNPs {
+		blockClocks := make([]float64, np)
+		nbClocks := make([]float64, np)
+		testMachine(np).Run(func(p *Proc) {
+			xs := []float64{float64(p.Rank() + 1), 2}
+			p.AllreduceScalars(xs, OpSum)
+			p.AllreduceScalars(xs, OpSum)
+			blockClocks[p.Rank()] = p.Clock()
+		})
+		testMachine(np).Run(func(p *Proc) {
+			xs := []float64{float64(p.Rank() + 1), 2}
+			p.AllreduceScalars(xs, OpSum)
+			h := p.IallreduceScalars(xs, OpSum)
+			h.Wait()
+			nbClocks[p.Rank()] = p.Clock()
+			if st := p.Stats(); st.ReduceHiddenTime != 0 {
+				t.Errorf("np=%d rank %d: hidden %g with no overlap window", np, p.Rank(), st.ReduceHiddenTime)
+			}
+		})
+		for r := 0; r < np; r++ {
+			if blockClocks[r] != nbClocks[r] {
+				t.Errorf("np=%d rank %d: blocking clock %v, wait-before-compute clock %v",
+					np, r, blockClocks[r], nbClocks[r])
+			}
+		}
+	}
+}
+
+// TestIallreduceOverlapChargesMax: the handle's Wait settles
+// max(reduction_cost, overlapped_compute), i.e. it bills only the
+// exposed remainder and books the rest as hidden.
+func TestIallreduceOverlapChargesMax(t *testing.T) {
+	for _, flops := range []int{0, 64, 1 << 20} {
+		testMachine(4).Run(func(p *Proc) {
+			xs := []float64{1, 2, 3}
+			start := p.Clock()
+			h := p.IallreduceScalars(xs, OpSum)
+			if p.Clock() != start {
+				t.Fatalf("start advanced the clock by %g", p.Clock()-start)
+			}
+			p.Compute(flops)
+			overlapped := p.Clock() - start
+			before := p.Stats()
+			h.Wait()
+			after := p.Stats()
+			wantHidden := math.Min(overlapped, h.Cost())
+			wantExposed := h.Cost() - wantHidden
+			if got := after.ReduceHiddenTime - before.ReduceHiddenTime; got != wantHidden {
+				t.Errorf("flops=%d rank %d: hidden %g, want %g", flops, p.Rank(), got, wantHidden)
+			}
+			if got := after.ReduceExposedTime - before.ReduceExposedTime; got != wantExposed {
+				t.Errorf("flops=%d rank %d: exposed %g, want %g", flops, p.Rank(), got, wantExposed)
+			}
+			if got := p.Clock() - start; got != overlapped+wantExposed {
+				t.Errorf("flops=%d rank %d: clock advanced %g, want max-style %g",
+					flops, p.Rank(), got, overlapped+wantExposed)
+			}
+		})
+	}
+}
+
+// TestIallreduceDoubleWait: the second Wait is a no-op on the clock and
+// the books.
+func TestIallreduceDoubleWait(t *testing.T) {
+	testMachine(4).Run(func(p *Proc) {
+		xs := []float64{float64(p.Rank()), 1}
+		h := p.IallreduceScalars(xs, OpSum)
+		h.Wait()
+		clock, stats := p.Clock(), p.Stats()
+		h.Wait()
+		if p.Clock() != clock {
+			t.Errorf("rank %d: second Wait moved the clock %g -> %g", p.Rank(), clock, p.Clock())
+		}
+		if p.Stats() != stats {
+			t.Errorf("rank %d: second Wait changed the stats", p.Rank())
+		}
+	})
+}
+
+// TestIallreduceOutstandingHandleAtTeardown: a handle never waited on
+// is harmless — the eager exchange already drained every message, the
+// values are already reduced, and the unsettled cost is simply never
+// charged (the clock stays rewound).
+func TestIallreduceOutstandingHandleAtTeardown(t *testing.T) {
+	for _, np := range []int{2, 4, 8} {
+		sums := make([]float64, np)
+		rs := testMachine(np).Run(func(p *Proc) {
+			xs := []float64{1}
+			p.IallreduceScalars(xs, OpSum) // handle dropped, never waited
+			sums[p.Rank()] = xs[0]
+		})
+		for r, s := range sums {
+			if s != float64(np) {
+				t.Errorf("np=%d rank %d: sum %g, want %g", np, r, s, float64(np))
+			}
+		}
+		if rs.TotalMsgs != rs.TotalMsgsRecv {
+			t.Errorf("np=%d: %d messages sent but %d received — eager exchange left mail undelivered",
+				np, rs.TotalMsgs, rs.TotalMsgsRecv)
+		}
+		if rs.ModelTime != 0 {
+			t.Errorf("np=%d: model time %g, want 0 — unwaited cost was charged", np, rs.ModelTime)
+		}
+		if hidden, exposed := rs.ReduceOverlap(); hidden != 0 || exposed != 0 {
+			t.Errorf("np=%d: overlap books (%g, %g) without a Wait", np, hidden, exposed)
+		}
+	}
+}
+
+// TestIallreduceSteadyStateNoAllocs: with the handle freelist warm and
+// no tracer attached, the start/compute/wait cycle allocates nothing.
+func TestIallreduceSteadyStateNoAllocs(t *testing.T) {
+	const runs = 10
+	testMachine(4).Run(func(p *Proc) {
+		var d [2]float64
+		round := func() {
+			d[0] = float64(p.Rank())
+			d[1] = 1
+			h := p.IallreduceScalars(d[:], OpSum)
+			p.Compute(256)
+			h.Wait()
+		}
+		round() // warm the buffer pool and the handle freelist
+		if p.Rank() == 0 {
+			if allocs := testing.AllocsPerRun(runs, round); allocs > 0 {
+				t.Errorf("steady-state iallreduce cycle allocates %.1f per round", allocs)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				round()
+			}
+		}
+	})
+}
+
+// TestIallreduceTracerSpans: with a tracer attached, the hidden span
+// shows up as an "iallreduce" collective covering the blocking cost,
+// and the settled remainder as "iallreduce.wait"; the per-message
+// events of the eager exchange are suppressed (their eager positions
+// on the modeled clock would be fiction after the rewind).
+func TestIallreduceTracerSpans(t *testing.T) {
+	var tr trace.Tracer
+	m := testMachine(4)
+	m.AttachTracer(&tr)
+	m.Run(func(p *Proc) {
+		xs := []float64{1, 2}
+		h := p.IallreduceScalars(xs, OpSum)
+		p.Compute(64)
+		h.Wait()
+	})
+	rec := tr.Last()
+	for r := 0; r < 4; r++ {
+		var spans, waits, prims int
+		for _, ev := range rec.RankEvents(r) {
+			switch {
+			case ev.Op == "iallreduce":
+				spans++
+				if ev.Duration() <= 0 {
+					t.Errorf("rank %d: iallreduce span has duration %g", r, ev.Duration())
+				}
+			case ev.Op == "iallreduce.wait":
+				waits++
+			case ev.Kind == trace.KindSend || ev.Kind == trace.KindRecv:
+				prims++
+			}
+		}
+		if spans != 1 || waits != 1 {
+			t.Errorf("rank %d: %d iallreduce spans and %d waits, want 1 and 1", r, spans, waits)
+		}
+		if prims != 0 {
+			t.Errorf("rank %d: %d eager send/recv events leaked into the trace", r, prims)
+		}
+	}
+}

@@ -103,6 +103,11 @@ type Stats struct {
 	// CG, 0 for the other solvers). When the stability guard tripped,
 	// Replacements is nonzero and the tail of the solve ran at s=1.
 	SStep int
+	// Pipelined reports that CGPipelined ran with overlap enabled: one
+	// nonblocking allreduce per iteration, hidden behind the mat-vec.
+	// When its drift guard tripped, Replacements is nonzero and the
+	// tail of the solve ran as plain CG.
+	Pipelined bool
 }
 
 // String summarises the stats.

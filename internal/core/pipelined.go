@@ -1,0 +1,232 @@
+// Pipelined (communication-hiding) conjugate gradient. CGSStep attacks
+// the §4 latency term by batching rounds — s iterations per allreduce;
+// this file attacks it from the other side by *overlapping*: one
+// allreduce per iteration, started nonblocking and hidden behind the
+// iteration's matrix-vector product. The rearrangement is
+// Ghysels–Vanroose: carry w = A·r alongside the usual vectors, merge
+// both scalars an iteration needs — γ = (r,r) and δ = (w,r) — in one
+// comm.IallreduceScalars round, compute q = A·w while the round is in
+// flight, and recover α and β locally from the recurrence
+//
+//	β = γ/γ_old,   α = γ / (δ - β·γ/α_old)
+//
+// once the Wait completes (for free when the mat-vec covered the
+// reduction). Auxiliary recurrences z = q + βz, s = w + βs keep A·p and
+// A·s available without further applies, so each iteration is still one
+// operator application.
+//
+// Like CGFused and CGSStep, the recurrence changes the floating-point
+// trajectory and can drift from the true residual, so stability is
+// priced rather than trusted: convergence claims are confirmed against
+// an explicitly recomputed residual (a residual replacement at the
+// claim), and any anomalous scalar (γ ≤ 0, δ ≤ 0, NaN, a non-positive
+// α denominator, stagnation or blow-up of γ) triggers one explicit
+// replacement r = b − A·x followed by a permanent fall back to plain
+// CG from the current x — which on an SPD system always converges, so
+// the guard can cost time, never the answer.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/spmv"
+)
+
+// pipeStagIters and pipeGrowthTol bound the consistent-but-wrong
+// regime, mirroring CGSStep's block guard at iteration granularity: no
+// new best ‖r‖² for pipeStagIters iterations, or growth far past the
+// best, abandons the pipelined recurrence.
+const (
+	pipeStagIters = 50
+	pipeGrowthTol = 1e4
+)
+
+// imerge starts ONE nonblocking batched allreduce of the local partials
+// in d — the pipelined solver's single round per iteration. It counts a
+// reduction round like merge; the caller overlaps compute against the
+// returned handle and settles the modeled cost with Wait.
+func (o ops) imerge(d []float64) *comm.ReduceHandle {
+	o.s.Reductions++
+	return o.p.IallreduceScalars(d, comm.OpSum)
+}
+
+// CGPipelined solves A·x = b with the Ghysels–Vanroose pipelined
+// recurrence: one nonblocking allreduce per iteration whose modeled
+// cost hides behind the iteration's mat-vec (Wait charges only the
+// exposed remainder — see comm.IallreduceScalars). overlap=false
+// delegates to CG, bit-identically, the same way CGSStep delegates at
+// s<=1; overlap=true changes the floating-point trajectory like
+// CGFused does, converges to the same tolerance, and falls back to
+// plain CG after one residual replacement if the drift guard trips.
+// Any spmv.Operator works, assembled or matrix-free.
+func CGPipelined(p *comm.Proc, A spmv.Operator, b, x *darray.Vector, opt Options, overlap bool) (Stats, error) {
+	if !overlap {
+		return CG(p, A, b, x, opt)
+	}
+	opt = opt.withDefaults(A.N())
+	st := newStats(opt)
+	st.Pipelined = true
+	o := ops{s: &st, p: p}
+	w := opt.Work.begin()
+
+	r := w.take(b)
+	rnsq, bn := residual0(o, A, b, x, r)
+	rn := math.Sqrt(rnsq)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	wv := w.take(b) // w = A·r, the pipelined auxiliary residual image
+	o.apply(A, r, wv)
+	pv := w.take(b) // search direction
+	sv := w.take(b) // s = A·p
+	zv := w.take(b) // z = A·s
+	qv := w.take(b) // q = A·w, computed inside the overlap window
+
+	var d [2]float64
+	var gamma, gammaOld, alphaOld float64
+	bestGamma := rnsq
+	sinceBest := 0
+	first := true
+	claimed := false
+	fallback := false
+
+	for {
+		// The round: {γ = r·r, δ = w·r} start one nonblocking merge;
+		// q = A·w runs while it is in flight; Wait charges only what
+		// the mat-vec did not cover.
+		d[0] = o.dotLocal(r, r)
+		d[1] = o.dotLocal(wv, r)
+		h := o.imerge(d[:])
+		o.apply(A, wv, qv)
+		h.Wait()
+		gamma = d[0]
+		delta := d[1]
+		if math.IsNaN(gamma) || math.IsNaN(delta) || gamma <= 0 || delta <= 0 {
+			fallback = true
+			break
+		}
+		if !first {
+			// γ is the exact merged ‖r‖² of the recurrence residual:
+			// the stopping test for the previous update, free inside
+			// the round (same quality as plain CG's test).
+			rel := math.Sqrt(gamma) / bn
+			o.record(rel, opt)
+			if rel <= opt.Tol {
+				claimed = true
+				break
+			}
+			if gamma < bestGamma {
+				bestGamma = gamma
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest >= pipeStagIters || gamma > pipeGrowthTol*bestGamma {
+					fallback = true
+					break
+				}
+			}
+		}
+		if st.Iterations >= opt.MaxIter {
+			break
+		}
+		st.Iterations++
+		var alpha, beta float64
+		if first {
+			first = false
+			alpha = gamma / delta
+			zv.CopyFrom(qv)
+			sv.CopyFrom(wv)
+			pv.CopyFrom(r)
+		} else {
+			beta = gamma / gammaOld
+			den := delta - beta*gamma/alphaOld
+			if math.IsNaN(den) || den <= 0 {
+				fallback = true
+				break
+			}
+			alpha = gamma / den
+			o.aypx(zv, beta, qv) // z = q + β·z   (= A·s)
+			o.aypx(sv, beta, wv) // s = w + β·s   (= A·p)
+			o.aypx(pv, beta, r)  // p = r + β·p
+		}
+		o.axpy(x, alpha, pv)   // x += α·p
+		o.axpy(r, -alpha, sv)  // r -= α·s
+		o.axpy(wv, -alpha, zv) // w -= α·z   (keeps w = A·r)
+		gammaOld, alphaOld = gamma, alpha
+	}
+
+	if claimed {
+		// The recurrence claims convergence: confirm against the true
+		// residual — an explicit replacement at the claim, like
+		// CGSStep's end-of-block confirmation. A confirmed claim
+		// returns; an unconfirmed one is drift and falls back.
+		o.apply(A, x, r)
+		r.Scale(-1)
+		o.axpy(r, 1, b)
+		rnsq = o.mergeScalar(r.NormSqLocal())
+		st.DotProducts++
+		rn = math.Sqrt(rnsq)
+		if rn/bn <= opt.Tol {
+			st.Converged = true
+			st.Residual = rn / bn
+			return st, nil
+		}
+		fallback = true
+	}
+	if !fallback {
+		// MaxIter exhausted; γ carries the final iterate's ‖r‖².
+		st.Residual = math.Sqrt(gamma) / bn
+		return st, nil
+	}
+
+	// The guard tripped: one explicit residual replacement, then plain
+	// CG (the CG loop verbatim) from the current x — stability priced,
+	// never the answer.
+	st.Replacements++
+	o.apply(A, x, r)
+	r.Scale(-1)
+	o.axpy(r, 1, b)
+	rnsq = o.mergeScalar(r.NormSqLocal())
+	st.DotProducts++
+	rn = math.Sqrt(rnsq)
+	if rn/bn <= opt.Tol {
+		st.Converged = true
+		st.Residual = rn / bn
+		return st, nil
+	}
+	pv.CopyFrom(r)
+	rho := rnsq
+	q := qv
+	for st.Iterations < opt.MaxIter {
+		st.Iterations++
+		pq := o.mergeScalar(o.applyDotLocal(A, pv, q))
+		if pq == 0 {
+			return st, fmt.Errorf("%w: p·Ap = 0 at iteration %d", ErrBreakdown, st.Iterations)
+		}
+		alpha := rho / pq
+		o.axpy(x, alpha, pv)
+		rnsq = o.mergeScalar(o.axpyNormSqLocal(r, -alpha, q))
+		rn = math.Sqrt(rnsq)
+		rel := rn / bn
+		o.record(rel, opt)
+		if rel <= opt.Tol {
+			st.Converged = true
+			st.Residual = rel
+			return st, nil
+		}
+		rho0 := rho
+		rho = rnsq
+		if rho0 == 0 {
+			return st, fmt.Errorf("%w: rho = 0 at iteration %d", ErrBreakdown, st.Iterations)
+		}
+		beta := rho / rho0
+		o.aypx(pv, beta, r)
+	}
+	st.Residual = rn / bn
+	return st, nil
+}

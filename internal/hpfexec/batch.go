@@ -125,6 +125,10 @@ type Prepared struct {
 	// after the first SolveStencilBatch.
 	mfSpec *mfree.Spec
 	mfOps  []*mfree.Operator
+
+	// pipelined selects core.CGPipelined for stencil handles
+	// (PrepareStencilPipelined); matrix handles carry the flag in pc.
+	pipelined bool
 }
 
 // Prepare validates the plan against the matrix and fixes the
@@ -295,9 +299,12 @@ func (pr *Prepared) SolveBatch(rhs [][]float64, opts []core.Options) (*BatchResu
 			opt.Work = work
 			var st core.Stats
 			var err error
-			if pc.sstep >= 2 {
+			switch {
+			case pc.pipelined:
+				st, err = core.CGPipelined(p, op, bv, xv, opt, true)
+			case pc.sstep >= 2:
 				st, err = core.CGSStep(p, op, bv, xv, opt, pc.sstep)
-			} else {
+			default:
 				st, err = core.CG(p, op, bv, xv, opt)
 			}
 			if err != nil {

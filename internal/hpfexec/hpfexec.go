@@ -40,6 +40,9 @@ type Strategy struct {
 	// run with: 0 when the s-step path was not requested, 1 for plain
 	// CG through the s-step entry points, >= 2 for s-step blocks.
 	SStep int
+	// Pipelined marks the overlap-based solver (core.CGPipelined): one
+	// nonblocking allreduce per iteration, hidden behind the mat-vec.
+	Pipelined bool
 }
 
 // String renders the strategy for logs.
@@ -50,6 +53,9 @@ func (s Strategy) String() string {
 	}
 	if s.SStep >= 2 {
 		out += fmt.Sprintf(" / s-step(s=%d)", s.SStep)
+	}
+	if s.Pipelined {
+		out += " / pipelined"
 	}
 	return out
 }
@@ -206,6 +212,9 @@ type preparedCG struct {
 	// sstep is the resolved s-step blocking factor (0 = the s-step
 	// path was not requested; set by PrepareSStep/SolveCGSStep).
 	sstep int
+	// pipelined selects core.CGPipelined for the solves (set by
+	// PreparePipelined/SolveCGPipelined; exclusive with sstep >= 2).
+	pipelined bool
 }
 
 // operator builds this rank's mat-vec operator inside the SPMD region.

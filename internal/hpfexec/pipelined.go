@@ -1,0 +1,267 @@
+// The pipelined execution path: overlap-based CG (core.CGPipelined)
+// under a directive plan, and its price in the paper's §4 cost model.
+//
+// Where the s-step path amortizes the allreduce latency over s
+// iterations, the pipelined path hides it: one two-word nonblocking
+// allreduce per iteration runs concurrently with the iteration's
+// mat-vec, so the modeled round cost is max(reduction, mat-vec)
+// instead of their sum (comm.IallreduceScalars). ModelPipelined prices
+// exactly that overlap with the same PowersStats flop counts the
+// s-step selector uses, and ChooseVariant places plain, fused, s-step
+// and pipelined CG on one frontier — the map experiment E26 charts.
+package hpfexec
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"hpfcg/internal/comm"
+	"hpfcg/internal/core"
+	"hpfcg/internal/darray"
+	"hpfcg/internal/dist"
+	"hpfcg/internal/hpf"
+	"hpfcg/internal/mfree"
+	"hpfcg/internal/sparse"
+	"hpfcg/internal/spmv"
+	"hpfcg/internal/topology"
+)
+
+// PipelinedModel is the modeled per-iteration cost of pipelined CG on
+// a concrete machine/matrix/distribution triple.
+type PipelinedModel struct {
+	// TimePerIter is the modeled makespan of one pipelined iteration:
+	// max(ReduceTime, OverlapWindow) plus the vector-update flops
+	// outside the window.
+	TimePerIter float64
+	// RoundsPerIter is always 1 — but the round hides.
+	RoundsPerIter float64
+	// ReduceTime is the blocking cost of the two-word allreduce the
+	// iteration starts nonblocking.
+	ReduceTime float64
+	// OverlapWindow is the modeled compute charged while the round is
+	// in flight: the q = A·w halo exchange plus matrix sweep.
+	OverlapWindow float64
+	// HiddenTime = min(ReduceTime, OverlapWindow) — the share of the
+	// reduction the overlap absorbs each iteration.
+	HiddenTime float64
+}
+
+// ModelPipelined prices one pipelined CG iteration for matrix A
+// distributed by d over the machine's ranks: a two-word allreduce
+// overlapped with the mat-vec (the iteration pays whichever is
+// longer), plus the Ghysels–Vanroose recurrence's 16·nloc vector flops
+// (two local dots and six axpy-shaped updates) outside the window.
+func ModelPipelined(m *comm.Machine, A *sparse.CSR, d dist.Contiguous) PipelinedModel {
+	np := m.NP()
+	topo, c := m.Topology(), m.Cost()
+	nloc := 0
+	for r := 0; r < np; r++ {
+		if cnt := d.Count(r); cnt > nloc {
+			nloc = cnt
+		}
+	}
+	entries, ghosts := spmv.PowersStats(A, d, np, 1)
+	red := topology.AllreduceTime(topo, c, np, 2)
+	window := haloTime(c, ghosts, 1) + c.TFlop*2*float64(entries)
+	return PipelinedModel{
+		TimePerIter:   math.Max(red, window) + c.TFlop*16*float64(nloc),
+		RoundsPerIter: 1,
+		ReduceTime:    red,
+		OverlapWindow: window,
+		HiddenTime:    math.Min(red, window),
+	}
+}
+
+// VariantModel is one row of the solver-variant frontier ChooseVariant
+// prices: a named CG variant with its modeled per-iteration makespan,
+// synchronization rounds, and (for pipelined) the hidden share.
+type VariantModel struct {
+	// Name is "plain", "fused", "sstep(s=N)" or "pipelined".
+	Name string
+	// S is the s-step blocking factor for s-step rows (1 for plain,
+	// 0 otherwise).
+	S int
+	// TimePerIter is the modeled makespan of one iteration.
+	TimePerIter float64
+	// RoundsPerIter is the allreduce rounds per iteration a blocking
+	// clock would count (pipelined still starts 1, but hides it).
+	RoundsPerIter float64
+	// HiddenTime is the modeled reduction time hidden per iteration
+	// (nonzero only for pipelined).
+	HiddenTime float64
+}
+
+// ChooseVariant prices plain, fused, s-step (every candidate factor)
+// and pipelined CG on the machine/matrix/distribution triple and
+// returns the cheapest variant's name plus the whole frontier. Ties go
+// to the earlier, simpler variant (plain before fused before s-step
+// before pipelined), so overlap or blocking is never bought for free.
+// The frontier is a modeling aid for reporting and E26; the serving
+// tier keeps s-step auto-selection (sstep=0) and the explicit
+// pipelined knob separate.
+func ChooseVariant(m *comm.Machine, A *sparse.CSR, d dist.Contiguous) (string, []VariantModel) {
+	np := m.NP()
+	topo, c := m.Topology(), m.Cost()
+	nloc := 0
+	for r := 0; r < np; r++ {
+		if cnt := d.Count(r); cnt > nloc {
+			nloc = cnt
+		}
+	}
+	entries, ghosts := spmv.PowersStats(A, d, np, 1)
+
+	plain := ModelSStep(m, A, d, 1)
+	models := []VariantModel{{
+		Name: "plain", S: 1,
+		TimePerIter:   plain.TimePerIter,
+		RoundsPerIter: plain.RoundsPerIter,
+	}}
+	// CGFused: one four-word round per iteration, the same mat-vec, and
+	// 14·nloc vector flops (four dots batched into the round plus three
+	// axpy-shaped updates).
+	models = append(models, VariantModel{
+		Name: "fused",
+		TimePerIter: topology.AllreduceTime(topo, c, np, 4) +
+			haloTime(c, ghosts, 1) +
+			c.TFlop*(2*float64(entries)+14*float64(nloc)),
+		RoundsPerIter: 1,
+	})
+	for _, s := range SStepCandidates {
+		if s <= 1 {
+			continue
+		}
+		mod := ModelSStep(m, A, d, s)
+		models = append(models, VariantModel{
+			Name: fmt.Sprintf("sstep(s=%d)", s), S: s,
+			TimePerIter:   mod.TimePerIter,
+			RoundsPerIter: mod.RoundsPerIter,
+		})
+	}
+	pipe := ModelPipelined(m, A, d)
+	models = append(models, VariantModel{
+		Name:          "pipelined",
+		TimePerIter:   pipe.TimePerIter,
+		RoundsPerIter: pipe.RoundsPerIter,
+		HiddenTime:    pipe.HiddenTime,
+	})
+
+	best := models[0]
+	for _, mod := range models[1:] {
+		if mod.TimePerIter < best.TimePerIter {
+			best = mod
+		}
+	}
+	return best.Name, models
+}
+
+// resolvePipelined validates the pipelined request against the
+// analyzed strategy: the overlap recurrence runs the row-block CSR
+// scenario (like s-step) and is mutually exclusive with s-step
+// blocking — the two attack the same latency term and do not compose.
+func resolvePipelined(pc *preparedCG) error {
+	if pc.format != "csr" {
+		return fmt.Errorf("hpfexec: pipelined CG needs the row-block CSR scenario, plan declares %s", pc.format)
+	}
+	if pc.sstep >= 2 {
+		return fmt.Errorf("hpfexec: pipelined CG cannot combine with s-step blocking (s=%d)", pc.sstep)
+	}
+	return nil
+}
+
+// PreparePipelined is Prepare with the overlap-based pipelined solver:
+// batch solves run core.CGPipelined with its nonblocking round hidden
+// behind the mat-vec. Warm registry hits rebind cached operators like
+// every other handle, so repeat traffic keeps SetupModelTime exactly 0.
+func PreparePipelined(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR) (*Prepared, error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, err
+	}
+	if err := resolvePipelined(pc); err != nil {
+		return nil, err
+	}
+	pc.pipelined = true
+	pc.strategy.Pipelined = true
+	return &Prepared{m: m, A: A, pc: pc, strategy: pc.strategy, ops: make([]spmv.Operator, m.NP())}, nil
+}
+
+// Pipelined reports whether the handle's solves run the overlap-based
+// pipelined solver.
+func (pr *Prepared) Pipelined() bool {
+	return (pr.pc != nil && pr.pc.pipelined) || pr.pipelined
+}
+
+// PrepareStencilPipelined is PrepareStencil with the pipelined solver:
+// the matrix-free operator application becomes the overlap window.
+// Setup stays exactly zero, cold and warm, like every stencil handle.
+func PrepareStencilPipelined(m *comm.Machine, spec mfree.Spec) (*Prepared, error) {
+	pr, err := PrepareStencil(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	pr.pipelined = true
+	pr.strategy.Pipelined = true
+	return pr, nil
+}
+
+// SolveStencilPipelined prepares and solves one matrix-free stencil
+// system with the pipelined solver (cmd/hpfrun's -stencil -pipelined).
+func SolveStencilPipelined(m *comm.Machine, spec mfree.Spec, b []float64, opt core.Options) (*Result, error) {
+	pr, err := PrepareStencilPipelined(m, spec)
+	if err != nil {
+		return nil, err
+	}
+	out, err := pr.SolveStencilBatch([][]float64{b}, []core.Options{opt})
+	if err != nil {
+		return nil, err
+	}
+	return out.Results[0], nil
+}
+
+// SolveCGPipelined executes the directive-driven CG with the pipelined
+// overlap solver (core.CGPipelined): one nonblocking allreduce per
+// iteration, hidden behind the mat-vec on the modeled clock.
+func SolveCGPipelined(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (*Result, error) {
+	fn, finish, err := prepareCGPipelined(m, plan, A, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.RunChecked(fn)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
+}
+
+// SolveCGPipelinedTimeout is SolveCGPipelined under the same deadlock
+// watchdog as SolveCGTimeout.
+func SolveCGPipelinedTimeout(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options, d time.Duration) (*Result, error) {
+	fn, finish, err := prepareCGPipelined(m, plan, A, b, opt)
+	if err != nil {
+		return nil, err
+	}
+	run, err := m.RunTimeout(fn, d)
+	if err != nil {
+		return nil, err
+	}
+	return finish(run)
+}
+
+// prepareCGPipelined validates the pipelined request and builds the
+// SPMD body running core.CGPipelined.
+func prepareCGPipelined(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, b []float64, opt core.Options) (func(p *comm.Proc), func(run comm.RunStats) (*Result, error), error) {
+	pc, err := analyzeCG(m, plan, A)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := resolvePipelined(pc); err != nil {
+		return nil, nil, err
+	}
+	pc.pipelined = true
+	pc.strategy.Pipelined = true
+	return prepareCGFrom(m, pc, b, opt,
+		func(p *comm.Proc, op spmv.Operator, bv, xv *darray.Vector) (core.Stats, error) {
+			return core.CGPipelined(p, op, bv, xv, opt, true)
+		})
+}

@@ -62,8 +62,9 @@ func SolveStencil(m *comm.Machine, spec mfree.Spec, b []float64, opt core.Option
 // operator locally (no collective — the geometric schedule needs no
 // inspector exchange, so cold SetupModelTime is 0 like warm) and cache
 // it in the handle; warm runs rebind the cached operators. Each RHS
-// runs core.CG, whose fused fast path engages mfree's ApplyDot, with
-// one pooled workspace per rank — bit-identical across repeat calls and
+// runs core.CG — whose fused fast path engages mfree's ApplyDot — or
+// core.CGPipelined on handles from PrepareStencilPipelined, with one
+// pooled workspace per rank — bit-identical across repeat calls and
 // bit-identical to the assembled-CSR executor over the same brick
 // layout.
 func (pr *Prepared) SolveStencilBatch(rhs [][]float64, opts []core.Options) (*BatchResult, error) {
@@ -131,7 +132,13 @@ func (pr *Prepared) SolveStencilBatch(rhs [][]float64, opts []core.Options) (*Ba
 			xv.Fill(0)
 			opt := optFor(k)
 			opt.Work = work
-			st, err := core.CG(p, op, bv, xv, opt)
+			var st core.Stats
+			var err error
+			if pr.pipelined {
+				st, err = core.CGPipelined(p, op, bv, xv, opt, true)
+			} else {
+				st, err = core.CG(p, op, bv, xv, opt)
+			}
 			if err != nil {
 				if p.Rank() == 0 {
 					solveErr = fmt.Errorf("hpfexec: batch rhs %d: %w", k, err)

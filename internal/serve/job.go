@@ -87,6 +87,12 @@ type JobSpec struct {
 	// only). Resilient jobs always run plain CG — the checkpoint
 	// machinery is per-iteration.
 	SStep int `json:"sstep,omitempty"`
+	// Pipelined runs the overlap-based pipelined CG solver: one
+	// nonblocking two-word allreduce per iteration, hidden behind the
+	// mat-vec on the modeled clock. CSR layouts and stencil jobs only;
+	// mutually exclusive with s-step blocking (the two attack the same
+	// latency term), resilient mode and hpcg.
+	Pipelined bool `json:"pipelined,omitempty"`
 	// NP is the virtual processor count (default 4).
 	NP int `json:"np,omitempty"`
 	// Topology is "hypercube" (default), "ring", "mesh2d" or "full".
@@ -193,6 +199,17 @@ func (sp *JobSpec) validate(maxNP int) error {
 	if sp.SStep >= 2 && strings.HasPrefix(sp.Layout, "csc") {
 		return fieldErr("sstep", "%d needs a CSR layout, got %q", sp.SStep, sp.Layout)
 	}
+	if sp.Pipelined {
+		if strings.HasPrefix(sp.Layout, "csc") {
+			return fieldErr("pipelined", "needs a CSR layout, got %q", sp.Layout)
+		}
+		if sp.SStep >= 2 {
+			return fieldErr("pipelined", "cannot combine with s-step blocking (sstep=%d)", sp.SStep)
+		}
+		if sp.Resilient {
+			return fieldErr("pipelined", "resilient mode checkpoints the plain recurrence only")
+		}
+	}
 	if _, err := topology.ByName(sp.Topology); err != nil {
 		return err
 	}
@@ -253,6 +270,9 @@ func (sp *JobSpec) validateMG() error {
 	}
 	if sp.SStep != 0 {
 		return fieldErr("sstep", "does not apply to hpcg jobs")
+	}
+	if sp.Pipelined {
+		return fieldErr("pipelined", "does not apply to hpcg jobs (the V-cycle is the inner solve)")
 	}
 	if sp.Fault != "" || sp.Resilient {
 		return fieldErr("fault", "fault injection and resilient mode are not supported for hpcg jobs")
@@ -325,6 +345,9 @@ type batchKey struct {
 	// sstep is the requested blocking factor: jobs asking for different
 	// factors run different solvers and must not share a dispatch.
 	sstep int
+	// pipelined jobs run the overlap solver: a different recurrence,
+	// never coalesced with blocking-clock jobs.
+	pipelined bool
 }
 
 func (sp *JobSpec) key() batchKey {
@@ -332,7 +355,7 @@ func (sp *JobSpec) key() batchKey {
 		return batchKey{matrix: "hpcg:" + sp.MG.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology}
 	}
 	if sp.Method == "stencil" {
-		return batchKey{matrix: "stencil:" + sp.Stencil.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology}
+		return batchKey{matrix: "stencil:" + sp.Stencil.spec().Key(), layout: sp.Layout, np: sp.NP, topology: sp.Topology, pipelined: sp.Pipelined}
 	}
 	mat := "gen:" + sp.Matrix
 	if sp.MatrixMarket != "" {
@@ -340,7 +363,7 @@ func (sp *JobSpec) key() batchKey {
 		h.Write([]byte(sp.MatrixMarket))
 		mat = fmt.Sprintf("mm:%016x", h.Sum64())
 	}
-	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology, sstep: sp.SStep}
+	return batchKey{matrix: mat, layout: sp.Layout, np: sp.NP, topology: sp.Topology, sstep: sp.SStep, pipelined: sp.Pipelined}
 }
 
 // ContentHash returns the canonical content digest of the job's
@@ -389,9 +412,19 @@ func (sp *JobSpec) planKey(hash string) string {
 		return fmt.Sprintf("%s|hpcg|%d|%s|L%d:S%d", hash, sp.NP, sp.Topology, s.Levels, s.Smooths)
 	}
 	if sp.Method == "stencil" {
-		return fmt.Sprintf("%s|stencil|%d|%s", hash, sp.NP, sp.Topology)
+		return fmt.Sprintf("%s|stencil|%d|%s%s", hash, sp.NP, sp.Topology, pipeSuffix(sp.Pipelined))
 	}
-	return fmt.Sprintf("%s|%s|%d|%s|s%d", hash, sp.Layout, sp.NP, sp.Topology, sp.SStep)
+	return fmt.Sprintf("%s|%s|%d|%s|s%d%s", hash, sp.Layout, sp.NP, sp.Topology, sp.SStep, pipeSuffix(sp.Pipelined))
+}
+
+// pipeSuffix distinguishes pipelined cached plans: the handle carries
+// the solver choice, so an overlap plan must never serve a blocking
+// request (or vice versa) even over the same matrix content.
+func pipeSuffix(pipelined bool) string {
+	if pipelined {
+		return "|pipe"
+	}
+	return ""
 }
 
 // buildMatrix assembles the job's matrix.
@@ -466,6 +499,13 @@ type JobResult struct {
 	// count their restore-time replacements here.
 	SStep        int `json:"sstep,omitempty"`
 	Replacements int `json:"replacements,omitempty"`
+	// Pipelined reports the solve ran the overlap-based pipelined
+	// solver; Reductions is its allreduce round count (setup plus one
+	// hidden round per iteration plus confirmation), the number a
+	// latency-bound client wants to compare against 2x iterations for
+	// plain CG.
+	Pipelined  bool `json:"pipelined,omitempty"`
+	Reductions int  `json:"reductions,omitempty"`
 	// Attempts/Failures report resilient-mode recovery (0 otherwise).
 	Attempts int `json:"attempts,omitempty"`
 	Failures int `json:"failures,omitempty"`

@@ -25,6 +25,7 @@ import (
 
 	"hpfcg/internal/comm"
 	"hpfcg/internal/core"
+	"hpfcg/internal/hpf"
 	"hpfcg/internal/hpfexec"
 	"hpfcg/internal/report"
 	"hpfcg/internal/sparse"
@@ -343,6 +344,26 @@ func (s *Scheduler) nextBatch() []*Job {
 // machineKey caches per-worker machines by shape.
 func machineKey(np int, topo string) string { return fmt.Sprintf("%d/%s", np, topo) }
 
+// prepareCGHandle builds the assembled-matrix Prepared for the job's
+// solver choice: the pipelined overlap handle when requested, the
+// s-step/plain handle (cost model resolves sstep=0) otherwise.
+// Validation guarantees the two knobs never both fire.
+func prepareCGHandle(m *comm.Machine, plan *hpf.Plan, A *sparse.CSR, spec JobSpec) (*hpfexec.Prepared, error) {
+	if spec.Pipelined {
+		return hpfexec.PreparePipelined(m, plan, A)
+	}
+	return hpfexec.PrepareSStep(m, plan, A, spec.SStep)
+}
+
+// prepareStencilHandle builds the matrix-free Prepared for the job's
+// solver choice.
+func prepareStencilHandle(m *comm.Machine, spec JobSpec) (*hpfexec.Prepared, error) {
+	if spec.Pipelined {
+		return hpfexec.PrepareStencilPipelined(m, spec.Stencil.spec())
+	}
+	return hpfexec.PrepareStencil(m, spec.Stencil.spec())
+}
+
 // runBatch executes one dispatch: either the coalesced multi-RHS
 // batch solve — through the Prepared-plan registry when enabled, so a
 // hot matrix skips partitioning and the inspector exchange — or the
@@ -406,7 +427,7 @@ func (s *Scheduler) runBatch(machines map[string]*comm.Machine, batch []*Job) {
 		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
 		machines[key] = m
 	}
-	pr, err := hpfexec.PrepareSStep(m, plan, A, spec.SStep)
+	pr, err := prepareCGHandle(m, plan, A, spec)
 	if err != nil {
 		s.failAll(live, err)
 		return
@@ -469,7 +490,7 @@ func (s *Scheduler) runBatchStencil(machines map[string]*comm.Machine, batch []*
 		m = comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
 		machines[key] = m
 	}
-	pr, err := hpfexec.PrepareStencil(m, spec.Stencil.spec())
+	pr, err := prepareStencilHandle(m, spec)
 	if err != nil {
 		s.failAll(batch, err)
 		return
@@ -550,7 +571,7 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 			return
 		}
 		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
-		if pr, err = hpfexec.PrepareStencil(m, spec.Stencil.spec()); err != nil {
+		if pr, err = prepareStencilHandle(m, spec); err != nil {
 			s.failAll(batch, err)
 			return
 		}
@@ -579,9 +600,11 @@ func (s *Scheduler) runBatchRegistry(batch []*Job) {
 		// The plan owns a machine of its own: cached plans outlive any
 		// single worker, and the entry lock serializes runs on it. The
 		// s-step factor resolves here (cost model on 0), so the cached
-		// plan carries the widened powers schedule it implies.
+		// plan carries the widened powers schedule it implies; a
+		// pipelined request caches the overlap-solver handle instead
+		// (planKey keeps the two apart).
 		m := comm.NewMachine(spec.NP, topo, topology.DefaultCostParams())
-		if pr, err = hpfexec.PrepareSStep(m, plan, A, spec.SStep); err != nil {
+		if pr, err = prepareCGHandle(m, plan, A, spec); err != nil {
 			s.failAll(batch, err)
 			return
 		}
@@ -628,6 +651,8 @@ func (s *Scheduler) finishBatch(live []*Job, out *hpfexec.BatchResult, warm bool
 			Strategy:       r.Strategy.String(),
 			SStep:          r.Strategy.SStep,
 			Replacements:   r.Stats.Replacements,
+			Pipelined:      r.Stats.Pipelined,
+			Reductions:     r.Stats.Reductions,
 			ModelTime:      out.Run.ModelTime,
 			SolveModelTime: out.SolveModelTime[k],
 			SetupModelTime: out.SetupModelTime,

@@ -62,7 +62,13 @@ func (s *Scheduler) runSolo(j *Job, plan *hpf.Plan, A *sparse.CSR, b []float64, 
 		res.ModelTime = rres.TotalModelTime
 		fillResult(res, &rres.Result)
 	case spec.TimeoutMS > 0:
-		r, err := hpfexec.SolveCGSStepTimeout(m, plan, A, b, opt, spec.SStep, time.Duration(spec.TimeoutMS)*time.Millisecond)
+		var r *hpfexec.Result
+		var err error
+		if spec.Pipelined {
+			r, err = hpfexec.SolveCGPipelinedTimeout(m, plan, A, b, opt, time.Duration(spec.TimeoutMS)*time.Millisecond)
+		} else {
+			r, err = hpfexec.SolveCGSStepTimeout(m, plan, A, b, opt, spec.SStep, time.Duration(spec.TimeoutMS)*time.Millisecond)
+		}
 		if err != nil {
 			solveErr = err
 			break
@@ -70,7 +76,16 @@ func (s *Scheduler) runSolo(j *Job, plan *hpf.Plan, A *sparse.CSR, b []float64, 
 		res.ModelTime = r.Run.ModelTime
 		fillResult(res, r)
 	default:
-		r, err := hpfexec.SolveCGSStep(m, plan, A, b, opt, spec.SStep)
+		// Fault- and trace-attached jobs land here too: the pipelined
+		// solver runs under injectors (clock skew never reaches the
+		// arithmetic) and tracers (the hidden round shows as a span).
+		var r *hpfexec.Result
+		var err error
+		if spec.Pipelined {
+			r, err = hpfexec.SolveCGPipelined(m, plan, A, b, opt)
+		} else {
+			r, err = hpfexec.SolveCGSStep(m, plan, A, b, opt, spec.SStep)
+		}
 		if err != nil {
 			solveErr = err
 			break
@@ -111,6 +126,8 @@ func fillResult(res *JobResult, r *hpfexec.Result) {
 		res.SStep = 1 // plain-CG paths (resilient) never engage s-step
 	}
 	res.Replacements = r.Stats.Replacements
+	res.Pipelined = r.Stats.Pipelined
+	res.Reductions = r.Stats.Reductions
 	if res.ModelTime == 0 {
 		res.ModelTime = r.Run.ModelTime
 	}
